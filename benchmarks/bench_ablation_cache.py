@@ -1,0 +1,81 @@
+"""Ablation: event cache size vs catchup cost (the paper's future work).
+
+Section 7: *"Future work includes experimentally examining the effect
+of different event cache sizes and management policies, on the catchup
+rate of reconnecting subscriptions."*
+
+This bench runs the churn workload with the SHB's event cache bounded
+to different spans and measures (a) mean catchup duration and (b) how
+much recovery traffic escapes to the PHB (nacks served upstream vs from
+the local cache).  Expected shape: with a cache covering the
+disconnection window, recovery stays local and the PHB serves almost
+nothing; with a tiny cache every catchup goes to the PHB's log.
+"""
+
+import pytest
+from conftest import full_scale, write_result
+
+from repro import DurableSubscriber, Node, PeriodicPublisher, Scheduler, build_two_broker
+from repro.metrics.report import format_table
+from repro.workloads.generator import (
+    ChurnSchedule,
+    PaperWorkloadSpec,
+    make_publishers,
+    make_subscribers,
+)
+
+_rows = []
+
+#: Cache spans to sweep, as multiples of the disconnection length.
+SPANS = [(0.2, "0.2x down"), (1.0, "1x down"), (8.0, "8x down")]
+
+
+def _run(cache_span_ms, down_ms, duration_ms):
+    spec = PaperWorkloadSpec()
+    sim = Scheduler()
+    overlay = build_two_broker(
+        sim, spec.pubend_names(), event_cache_span_ms=int(cache_span_ms)
+    )
+    shb = overlay.shbs[0]
+    publishers = make_publishers(sim, overlay.phb, spec)
+    subs = make_subscribers(sim, overlay.shbs, spec, 24)
+    ChurnSchedule(sim, subs, shb_of=lambda s: shb,
+                  period_ms=duration_ms / 3, down_ms=down_ms)
+    sim.run_until(duration_ms)
+    for pub in publishers:
+        pub.stop()
+    sim.run_until(duration_ms + 10_000)
+    durations = [d for _t, d in shb.catchup_durations_ms]
+    phb_nacks = overlay.phb.nacks_served
+    cache_nacks = shb.cache_served_nacks
+    ok = all(s.stats.order_violations == 0 and s.stats.gaps == 0 for s in subs)
+    return durations, phb_nacks, cache_nacks, ok
+
+
+@pytest.mark.parametrize("multiple,label", SPANS)
+def test_cache_span_vs_catchup(benchmark, multiple, label):
+    down_ms = 2_000.0
+    duration = 120_000.0 if full_scale() else 45_000.0
+    durations, phb_nacks, cache_nacks, ok = benchmark.pedantic(
+        lambda: _run(multiple * down_ms, down_ms, duration), rounds=1, iterations=1
+    )
+    assert ok, "delivery guarantee must hold at every cache size"
+    assert durations, "churn must produce catchups"
+    mean = sum(durations) / len(durations)
+    local_fraction = cache_nacks / max(1, cache_nacks + phb_nacks)
+    _rows.append([label, len(durations), f"{mean / 1000:.2f}",
+                  phb_nacks, cache_nacks, f"{local_fraction:.0%}"])
+    if len(_rows) == len(SPANS):
+        table = format_table(
+            "Ablation: SHB event cache span vs catchup (2s disconnections)",
+            ["cache span", "catchups", "mean dur (s)",
+             "PHB-served nacks", "cache-served nacks", "served locally"],
+            _rows,
+        )
+        write_result("ablation_cache", table)
+        # Shape: a cache covering the outage keeps recovery local.
+        small = next(r for r in _rows if r[0] == SPANS[0][1])
+        large = next(r for r in _rows if r[0] == SPANS[-1][1])
+        assert int(large[3]) < int(small[3]), (
+            "a larger cache must offload the PHB"
+        )

@@ -1,0 +1,43 @@
+"""Result R1: end-to-end latency over a 5-broker chain.
+
+Paper (Section 5, summary result 1): *"The end-to-end event latency for
+a 5 hop broker network is 50ms, of which 44ms is due to event logging
+at the PHB."*
+
+The bench publishes at a modest rate through PHB → 3 intermediates →
+SHB → subscriber and reports the mean/median/p99 end-to-end latency and
+the PHB logging component (publish → durable).
+"""
+
+from conftest import full_scale, write_result
+
+from repro.metrics.report import format_table
+from repro.sim.experiments import run_latency
+
+
+def test_end_to_end_latency(benchmark):
+    duration = 60_000.0 if full_scale() else 20_000.0
+
+    result = benchmark.pedantic(
+        lambda: run_latency(n_intermediates=3, rate_per_s=50, duration_ms=duration),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        ["end-to-end mean (ms)", f"{result.mean_ms:.1f}", "50"],
+        ["end-to-end p50 (ms)", f"{result.p50_ms:.1f}", "-"],
+        ["end-to-end p99 (ms)", f"{result.p99_ms:.1f}", "-"],
+        ["PHB logging mean (ms)", f"{result.logging_mean_ms:.1f}", "44"],
+        ["hops", result.hops, "5"],
+        ["samples", result.samples, "-"],
+    ]
+    write_result(
+        "latency",
+        format_table("R1: 5-hop end-to-end latency", ["metric", "measured", "paper"], rows),
+    )
+
+    # Shape assertions: logging dominates, total in the right regime.
+    assert result.hops == 5
+    assert result.logging_mean_ms > 0.75 * result.mean_ms
+    assert 35.0 < result.mean_ms < 70.0

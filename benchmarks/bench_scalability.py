@@ -1,0 +1,115 @@
+"""Figure 4: peak event rate vs number of SHBs, with and without churn.
+
+Paper: *"It scales almost linearly from 20K events/s for 1 SHB to
+79.2K events/s for 4 SHBs [no churn] ... from 17.6K events/s to 69.6K
+events/s (an increase from 88 subscribers to 348 subscribers) [with
+churn] ... The CPU idle time at the PHB decreases slightly from 69% to
+59% when going from 1 SHB to 4 SHBs."* The 1-broker network is run to
+show its capacity matches the 1-SHB network.
+
+Workload: 800 ev/s input over 4 pubends, 200 ev/s per subscriber; with
+churn each subscriber periodically disconnects (time-compressed by
+default, same down/period ratio as the paper's 5s/300s).
+"""
+
+import pytest
+from conftest import full_scale, write_result
+
+from repro.metrics.report import format_table
+from repro.sim.experiments import run_scalability
+
+# Paper subscriber counts: 100/SHB without churn, 87/SHB (348/4) with.
+NO_CHURN_SUBS = 100
+CHURN_SUBS = 87
+PAPER_NO_CHURN = {1: 20_000, 2: 40_000, 4: 79_200}
+PAPER_CHURN = {1: 17_600, 2: 35_000, 4: 69_600}
+
+_results = {}
+
+
+def _run(n_shbs, churn, single_broker=False):
+    duration = 60_000.0 if full_scale() else 14_000.0
+    churn_kwargs = {}
+    if full_scale():
+        churn_kwargs = {"churn_period_ms": 300_000.0, "churn_down_ms": 5_000.0}
+    else:
+        churn_kwargs = {"churn_period_ms": 60_000.0, "churn_down_ms": 1_000.0}
+    return run_scalability(
+        n_shbs=n_shbs,
+        subs_per_shb=CHURN_SUBS if churn else NO_CHURN_SUBS,
+        churn=churn,
+        duration_ms=duration,
+        warmup_ms=4_000.0,
+        single_broker=single_broker,
+        **churn_kwargs,
+    )
+
+
+@pytest.mark.parametrize("n_shbs", [1, 2, 4])
+def test_scalability_no_churn(benchmark, n_shbs):
+    result = benchmark.pedantic(lambda: _run(n_shbs, churn=False), rounds=1, iterations=1)
+    _results[("no_churn", n_shbs)] = result
+    assert result.efficiency > 0.95
+    # Linear scaling: each SHB adds its full share.
+    assert result.achieved_rate == pytest.approx(
+        n_shbs * 200.0 * NO_CHURN_SUBS, rel=0.05
+    )
+    _maybe_report()
+
+
+@pytest.mark.parametrize("n_shbs", [1, 2, 4])
+def test_scalability_with_churn(benchmark, n_shbs):
+    result = benchmark.pedantic(lambda: _run(n_shbs, churn=True), rounds=1, iterations=1)
+    _results[("churn", n_shbs)] = result
+    assert result.disconnects > 0
+    assert result.catchup_count > 0
+    assert result.efficiency > 0.90
+    _maybe_report()
+
+
+def test_single_broker_matches_one_shb(benchmark):
+    """The 1-broker network has ~the capacity of the 1-SHB network."""
+    result = benchmark.pedantic(
+        lambda: _run(1, churn=False, single_broker=True), rounds=1, iterations=1
+    )
+    _results[("single", 1)] = result
+    assert result.efficiency > 0.95
+    _maybe_report()
+
+
+def _maybe_report():
+    needed = (
+        [("no_churn", n) for n in (1, 2, 4)]
+        + [("churn", n) for n in (1, 2, 4)]
+        + [("single", 1)]
+    )
+    if not all(k in _results for k in needed):
+        return
+    rows = []
+    for n in (1, 2, 4):
+        r = _results[("no_churn", n)]
+        rows.append([f"{n} SHB, no churn", r.subscribers, f"{r.achieved_rate:,.0f}",
+                     f"{PAPER_NO_CHURN[n]:,}", f"{r.phb_idle:.0%}", f"{r.shb_idle_mean:.0%}"])
+    for n in (1, 2, 4):
+        r = _results[("churn", n)]
+        rows.append([f"{n} SHB, churn", r.subscribers, f"{r.achieved_rate:,.0f}",
+                     f"{PAPER_CHURN[n]:,}", f"{r.phb_idle:.0%}", f"{r.shb_idle_mean:.0%}"])
+    s = _results[("single", 1)]
+    rows.append(["1 broker (combined)", s.subscribers, f"{s.achieved_rate:,.0f}",
+                 "~20,000", f"{s.phb_idle:.0%}", f"{s.shb_idle_mean:.0%}"])
+
+    churn_ratio = (
+        _results[("churn", 4)].achieved_rate / _results[("no_churn", 4)].achieved_rate
+    )
+    table = format_table(
+        "Figure 4: aggregate subscriber rate (events/s)",
+        ["configuration", "subs", "measured", "paper", "PHB idle", "SHB idle"],
+        rows,
+    )
+    table += (
+        f"\n\nchurn/no-churn rate ratio at 4 SHBs: {churn_ratio:.0%} (paper: 88%)"
+        f"\nPHB idle trend 1->4 SHBs: "
+        f"{_results[('no_churn', 1)].phb_idle:.0%} -> "
+        f"{_results[('no_churn', 4)].phb_idle:.0%} (paper: 69% -> 59%)"
+    )
+    write_result("scalability", table)

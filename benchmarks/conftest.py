@@ -1,0 +1,30 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every bench regenerates one of the paper's tables or figures (see
+DESIGN.md §3).  Results are printed *and* written under
+``benchmarks/results/`` so they survive pytest's output capturing; the
+EXPERIMENTS.md paper-vs-measured record is assembled from those files.
+
+Set ``REPRO_BENCH_SCALE=full`` for paper-length runs (minutes of
+simulated time per configuration); the default runs are time-compressed
+but preserve every qualitative shape.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_SCALE", "").lower() == "full"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a bench's report (and echo it for -s runs)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(text)

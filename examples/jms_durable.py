@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""JMS durable subscriptions on top of the native model (Section 5.2).
+
+For JMS clients the SHB stores the Checkpoint Token and updates it
+transactionally as the client commits consumption.  This example shows
+the three interesting acknowledgment modes and the batched commit
+engine (4 connections, requests hashed by subscriber id):
+
+* AUTO_ACKNOWLEDGE — commit per consumed event ("the most severe"),
+* DUPS_OK_ACKNOWLEDGE — lazy batched commits,
+* SESSION_TRANSACTED — application-controlled transactions,
+
+and demonstrates crash recovery: a JMS client that loses all local
+state recovers its position from the SHB-stored CT.
+
+Run:  python examples/jms_durable.py
+"""
+
+from repro import Everything, Node, PeriodicPublisher, Scheduler, build_two_broker
+from repro.jms.ctstore import CheckpointCommitService
+from repro.jms.session import (
+    AUTO_ACKNOWLEDGE,
+    DUPS_OK_ACKNOWLEDGE,
+    SESSION_TRANSACTED,
+    JMSDurableSubscriber,
+)
+
+
+def main() -> None:
+    sim = Scheduler()
+    overlay = build_two_broker(sim, ["P1"])
+    shb = overlay.shbs[0]
+
+    # The SHB-side commit engine: 4 connections, batched transactions.
+    service = CheckpointCommitService(shb, n_connections=4)
+
+    machine = Node(sim, "jms-clients")
+    auto = JMSDurableSubscriber(sim, "auto", machine, Everything(),
+                                ack_mode=AUTO_ACKNOWLEDGE)
+    dups_ok = JMSDurableSubscriber(sim, "dups-ok", machine, Everything(),
+                                   ack_mode=DUPS_OK_ACKNOWLEDGE, dups_ok_batch=25)
+    txn = JMSDurableSubscriber(sim, "txn", machine, Everything(),
+                               ack_mode=SESSION_TRANSACTED)
+    for sub in (auto, dups_ok, txn):
+        sub.connect(shb)
+
+    publisher = PeriodicPublisher(sim, overlay.phb, "P1", rate_per_s=100,
+                                  attribute_fn=lambda i: {"group": i % 4})
+    publisher.start()
+
+    # Commit the transacted session every simulated second.
+    sim.every(1_000, txn.commit_transaction)
+
+    sim.run_until(10_000)
+    print(f"[t=10s] published {publisher.published}")
+    for sub in (auto, dups_ok, txn):
+        print(f"  {sub.sub_id:8s} consumed={sub.events_consumed:5d} "
+              f"commits={sub.commits_completed:5d}")
+    print(f"  commit engine: {service.commits} transactions, "
+          f"{service.updates_committed} CT updates "
+          f"({service.updates_coalesced} coalesced)")
+
+    # --- JMS client crash: local state gone, CT recovered from SHB ---
+    auto.crash()
+    print("\n[t=10s] 'auto' crashed, losing all local state")
+    sim.run_until(13_000)
+    auto.connect(shb)
+    auto.lookup_ct()           # recover the committed CT from the SHB
+    sim.run_until(20_000)
+    publisher.stop()
+    sim.run_until(22_000)
+
+    print(f"\n[t=22s] final (published {publisher.published}):")
+    for sub in (auto, dups_ok, txn):
+        print(f"  {sub.sub_id:8s} consumed={sub.events_consumed:5d} "
+              f"violations={sub.stats.order_violations}")
+
+    # Auto-ack commits per event, so the crash re-delivered at most the
+    # few events consumed-but-not-yet-committed.
+    assert auto.events_consumed >= publisher.published
+    assert auto.events_consumed - publisher.published <= 3
+    assert dups_ok.events_consumed == publisher.published
+    print("\nJMS sessions recovered with at-least-once bounded by one "
+          "uncommitted window; auto-ack window is a single event ✓")
+
+
+if __name__ == "__main__":
+    main()

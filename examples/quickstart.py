@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quickstart: durable subscriptions with exactly-once delivery.
+
+Builds the paper's 2-broker network (publisher hosting broker +
+subscriber hosting broker), connects a durable subscriber, publishes
+events, disconnects the subscriber for a while, reconnects — and shows
+that every matching event is delivered exactly once, in order, with the
+missed interval recovered through the Persistent Filtering Subsystem.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DurableSubscriber,
+    In,
+    Node,
+    PeriodicPublisher,
+    Scheduler,
+    build_two_broker,
+)
+
+
+def main() -> None:
+    # Everything runs on a deterministic simulated clock (milliseconds).
+    sim = Scheduler()
+
+    # The paper's 2-broker topology: PHB --link--> SHB.
+    overlay = build_two_broker(sim, pubends=["P1"])
+    shb = overlay.shbs[0]
+
+    # A durable subscriber interested in half of the traffic.
+    machine = Node(sim, "client-machine")
+    sub = DurableSubscriber(
+        sim, "quickstart-sub", machine,
+        predicate=In("group", [0, 1]),   # matches groups 0 and 1 of 0..3
+        record_events=True,
+    )
+    sub.connect(shb)
+
+    # A publisher pushing 100 events/s, cycling over four groups.
+    publisher = PeriodicPublisher(
+        sim, overlay.phb, "P1", rate_per_s=100,
+        attribute_fn=lambda i: {"group": i % 4},
+    )
+    publisher.start()
+
+    # --- phase 1: steady state -------------------------------------
+    sim.run_until(5_000)
+    print(f"[t={sim.now / 1000:.0f}s] connected: received "
+          f"{sub.stats.events} events (published {publisher.published})")
+
+    # --- phase 2: disconnect for 3 seconds --------------------------
+    sub.disconnect()
+    sim.run_until(8_000)
+    missed_window = publisher.published
+    print(f"[t={sim.now / 1000:.0f}s] disconnected during "
+          f"{missed_window - sub.stats.events * 2} publishes")
+
+    # --- phase 3: reconnect and catch up -----------------------------
+    # The subscriber presents its Checkpoint Token; the SHB builds a
+    # catchup stream, reads the PFS for the missed Q ticks, nacks the
+    # events from the PHB's log, and finally switches the subscriber
+    # back to the consolidated stream.
+    sub.connect(shb)
+    sim.run_until(15_000)
+    publisher.stop()
+    sim.run_until(16_000)
+
+    expected = publisher.published // 2   # half the groups match
+    print(f"[t={sim.now / 1000:.0f}s] final: received {sub.stats.events} "
+          f"of {expected} matching events")
+    print(f"  duplicates:       {sub.duplicate_events}")
+    print(f"  order violations: {sub.stats.order_violations}")
+    print(f"  gap messages:     {sub.stats.gaps}")
+    print(f"  catchup runs:     {len(shb.catchup_durations_ms)} "
+          f"({[f'{d:.0f}ms' for _t, d in shb.catchup_durations_ms]})")
+
+    assert sub.stats.events == expected
+    assert sub.duplicate_events == 0
+    assert sub.stats.order_violations == 0
+    print("\nexactly-once delivery verified ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,149 @@
+"""Broker base class: a node in the overlay tree.
+
+The overlay is a tree rooted at the publisher hosting broker (the
+paper's topologies all have a single PHB; a general deployment roots
+one tree per pubend).  Every broker has at most one *parent* link
+(toward the PHB) and any number of *child* links (toward SHBs).
+
+Per-pubend traffic directions:
+
+* :class:`~repro.core.messages.KnowledgeUpdate` — downstream (parent→child),
+* :class:`~repro.core.messages.Nack`,
+  :class:`~repro.core.messages.ReleaseUpdate`,
+  :class:`~repro.core.messages.SubscriptionAdd`/``Remove`` — upstream.
+
+Subclasses implement ``_handle_from_parent`` / ``_handle_from_child``;
+the base class owns link wiring, per-child filter engines (the union of
+all subscriptions below that child, used for intermediate filtering),
+and crash/recovery plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..matching.engine import MatchingEngine
+from ..net.link import Link, LinkEnd
+from ..net.node import Node
+from ..net.simtime import Scheduler
+from ..util.errors import ConfigurationError
+from .costs import DEFAULT_COSTS, CostModel
+
+
+class Broker:
+    """Common state and wiring for PHB / intermediate / SHB brokers."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        name: str,
+        cost_model: Optional[CostModel] = None,
+        speed: float = 1.0,
+        node: Optional[Node] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.name = name
+        self.costs = cost_model if cost_model is not None else DEFAULT_COSTS
+        #: Brokers may share a Node (the paper's 1-broker topology runs
+        #: PHB and SHB roles on the same machine).
+        self.node = node if node is not None else Node(scheduler, name, speed=speed)
+        self.parent_name: Optional[str] = None
+        self._parent_send: Optional[LinkEnd] = None
+        self._child_sends: Dict[str, LinkEnd] = {}
+        #: Per-child filter union: every subscription propagated up
+        #: through that child.  Used to filter knowledge downstream.
+        self.child_engines: Dict[str, MatchingEngine] = {}
+        #: Whether each child's union is trustworthy.  After this
+        #: broker recovers from a crash its unions are *cold* (soft
+        #: state was lost): knowledge is passed unfiltered — always
+        #: correct, merely less efficient — until the child re-syncs.
+        self.child_filter_ready: Dict[str, bool] = {}
+        self.node.on_recover(self._mark_children_cold)
+        self.node.on_recover(self._on_node_recover)
+
+    # ------------------------------------------------------------------
+    # Wiring (called by the topology builder)
+    # ------------------------------------------------------------------
+    def wire_parent(self, send_end: LinkEnd, recv_end: LinkEnd, parent: "Broker") -> None:
+        """Install the directed ends for this broker's uplink.
+
+        ``send_end`` carries this broker's messages toward the parent;
+        ``recv_end`` is the direction the parent sends on.  Ends are
+        passed explicitly (rather than resolved from node identity)
+        because the 1-broker topology runs both roles on one node, over
+        a loopback link whose two directions share endpoints.
+        """
+        if self._parent_send is not None:
+            raise ConfigurationError(f"{self.name} already has a parent")
+        self.parent_name = parent.name
+        self._parent_send = send_end
+        recv_end.on_receive(
+            lambda msg: self._handle_from_parent(msg),
+            self.costs.broker_recv_cost,
+        )
+
+    def wire_child(self, send_end: LinkEnd, recv_end: LinkEnd, child: "Broker") -> None:
+        if child.name in self._child_sends:
+            raise ConfigurationError(f"{self.name} already wired to {child.name}")
+        self._child_sends[child.name] = send_end
+        self.child_engines[child.name] = MatchingEngine()
+        self.child_filter_ready[child.name] = True
+        recv_end.on_receive(
+            lambda msg: self._handle_from_child(child.name, msg),
+            self.costs.broker_recv_cost,
+        )
+
+    @classmethod
+    def connect(cls, parent: "Broker", child: "Broker", latency_ms: float = 1.0) -> Link:
+        """Create the link between a parent and child broker and wire it."""
+        link = Link(parent.scheduler, parent.node, child.node, latency_ms)
+        parent.wire_child(link.a_to_b, link.b_to_a, child)
+        child.wire_parent(link.b_to_a, link.a_to_b, parent)
+        return link
+
+    @property
+    def child_names(self) -> List[str]:
+        return list(self._child_sends)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send_up(self, msg: object) -> None:
+        """Send toward the PHB (dropped silently at the root)."""
+        if self._parent_send is not None:
+            self._parent_send.send(msg)
+
+    def send_to_child(self, child: str, msg: object) -> None:
+        self._child_sends[child].send(msg)
+
+    # ------------------------------------------------------------------
+    # Message handling (subclass responsibilities)
+    # ------------------------------------------------------------------
+    def _handle_from_parent(self, msg: object) -> None:
+        raise NotImplementedError
+
+    def _handle_from_child(self, child: str, msg: object) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Crash-stop the broker's machine (volatile state is lost)."""
+        self.node.crash()
+
+    def recover(self) -> None:
+        self.node.recover()
+
+    def fail_for(self, duration_ms: float) -> None:
+        self.node.fail_for(duration_ms)
+
+    def _mark_children_cold(self) -> None:
+        for child in self.child_filter_ready:
+            self.child_filter_ready[child] = False
+
+    def _on_node_recover(self) -> None:
+        """Subclasses rebuild volatile state here."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,220 @@
+"""Intermediate brokers: caching, filtering and nack consolidation.
+
+Section 3: *"Intermediate knowledge streams serve as caches of data
+that increase scalability of recovery, by responding to nacks, and
+curiosity streams consolidate nacks from multiple SHBs."*
+
+An intermediate broker sits between the PHB and a set of children.  It
+keeps a bounded in-memory knowledge cache per pubend; head knowledge is
+forwarded downstream per child with D→S filtering against that child's
+subscription union, and nacks from below are answered from the cache
+where possible, consolidated (one upstream nack per range per retry
+window) otherwise.  Nack replies arriving from upstream are routed only
+to the children whose registered interest intersects them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core import messages as M
+from ..core.curiosity import NackConsolidator
+from ..core.release import ReleaseAggregator
+from ..core.tickmap import TickMap
+from ..core.ticks import Tick
+from ..net.node import Node
+from ..net.simtime import Scheduler
+from ..util.intervals import IntervalSet
+from .base import Broker
+from .costs import CostModel
+
+
+class _PubendRelay:
+    """Per-pubend relay state at an intermediate broker."""
+
+    def __init__(self, pubend: str, scheduler: Scheduler, cache_span_ms: int) -> None:
+        self.pubend = pubend
+        self.cache = TickMap()
+        self.cache_span_ms = cache_span_ms
+        self.consolidator = NackConsolidator(scheduler)
+        self.release_agg = ReleaseAggregator(pubend)
+        self.last_release_sent: Optional[Tuple[int, int]] = None
+        #: Per-child contiguous forwarding horizon: ticks at or below it
+        #: have already been offered to that child as head knowledge.
+        self.sent_cursor: Dict[str, int] = {}
+
+    def trim_cache(self) -> None:
+        frontier = self.cache.max_known()
+        floor = frontier - self.cache_span_ms
+        if floor > 0:
+            self.cache.forget_below(floor)
+
+
+class IntermediateBroker(Broker):
+    """A pure relay: no pubends, no subscribers, just scalability."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        name: str,
+        cost_model: Optional[CostModel] = None,
+        speed: float = 1.0,
+        node: Optional[Node] = None,
+        cache_span_ms: int = 30_000,
+    ) -> None:
+        super().__init__(scheduler, name, cost_model, speed, node)
+        self.cache_span_ms = cache_span_ms
+        self._relays: Dict[str, _PubendRelay] = {}
+        self.cache_hits = 0
+        self.cache_miss_ticks = 0
+
+    def _relay(self, pubend: str) -> _PubendRelay:
+        relay = self._relays.get(pubend)
+        if relay is None:
+            relay = _PubendRelay(pubend, self.scheduler, self.cache_span_ms)
+            for child in self.child_names:
+                relay.release_agg.register_child(child)
+                relay.sent_cursor[child] = 0
+            self._relays[pubend] = relay
+        return relay
+
+    def register_release_child(self, pubend: str, child: str) -> None:
+        """Topology hook mirroring the PHB's (idempotent)."""
+        self._relay(pubend).release_agg.register_child(child)
+
+    # ------------------------------------------------------------------
+    # Downstream flow: knowledge from the parent
+    # ------------------------------------------------------------------
+    def _handle_from_parent(self, msg: object) -> None:
+        if isinstance(msg, M.KnowledgeUpdate):
+            self._on_knowledge(msg)
+
+    def _on_knowledge(self, update: M.KnowledgeUpdate) -> None:
+        relay = self._relay(update.pubend)
+        # Cache everything (bounded).
+        for start, end in update.l_ranges:
+            relay.cache.set_lost_below(end + 1)
+        for start, end in update.s_ranges:
+            relay.cache.set_s(start, end)
+        for event in update.d_events:
+            relay.cache.set_d(event.timestamp, event)
+        relay.trim_cache()
+        hi = update.max_tick()
+        if hi is None:
+            return
+        for child in self.child_names:
+            cursor = relay.sent_cursor.get(child, 0)
+            old, new = M.split_update(update, cursor)
+            if not new.is_empty():
+                filtered = self._filter_for_child(child, new)
+                relay.sent_cursor[child] = max(cursor, hi)
+                cost = self.costs.forward_per_link_event_ms * max(1, len(new.d_events))
+                self.node.submit(cost, lambda c=child, u=filtered: self.send_to_child(c, u))
+            if not old.is_empty():
+                self._route_old_knowledge(relay, child, old)
+        # Interest satisfied for everything this update covered.
+        covered = IntervalSet(update.s_ranges + update.l_ranges)
+        for event in update.d_events:
+            covered.add(event.timestamp)
+        relay.consolidator.satisfy_set(covered)
+
+    def _route_old_knowledge(self, relay: _PubendRelay, child: str, old: M.KnowledgeUpdate) -> None:
+        """Send the parts of an old update the child actually asked for."""
+        interest = relay.consolidator.interest_of(child)
+        if not interest:
+            return
+        pieces = M.clip_update_to_set(old, interest)
+        if not pieces.is_empty():
+            filtered = self._filter_for_child(child, pieces)
+            cost = self.costs.forward_per_link_event_ms * max(1, len(pieces.d_events))
+            self.node.submit(cost, lambda c=child, u=filtered: self.send_to_child(c, u))
+
+    def _filter_for_child(self, child: str, update: M.KnowledgeUpdate) -> M.KnowledgeUpdate:
+        # A cold union (post-recovery, pre-resync) must not filter.
+        if not self.child_filter_ready.get(child, True):
+            return update
+        engine = self.child_engines[child]
+        out = M.KnowledgeUpdate(update.pubend)
+        out.s_ranges = list(update.s_ranges)
+        out.l_ranges = list(update.l_ranges)
+        for event in update.d_events:
+            if engine.matches_any(event.attributes):
+                out.d_events.append(event)
+            else:
+                out.s_ranges.append((event.timestamp, event.timestamp))
+        return out
+
+    # ------------------------------------------------------------------
+    # Upstream flow: nacks, release, subscriptions from children
+    # ------------------------------------------------------------------
+    def _handle_from_child(self, child: str, msg: object) -> None:
+        if isinstance(msg, M.Nack):
+            self._on_nack(child, msg)
+        elif isinstance(msg, M.ReleaseUpdate):
+            self._on_release(child, msg)
+        elif isinstance(msg, M.SubscriptionAdd):
+            self.child_engines[child].add(msg.sub_id, msg.predicate)
+            self.send_up(msg)
+        elif isinstance(msg, M.SubscriptionRemove):
+            self.child_engines[child].remove(msg.sub_id)
+            self.send_up(msg)
+        elif isinstance(msg, M.SubscriptionSync):
+            self.child_filter_ready[child] = True
+            # This broker's own union is complete only once every
+            # child has re-synced; then tell the parent.
+            if all(self.child_filter_ready.values()):
+                total = sum(len(e) for e in self.child_engines.values())
+                self.send_up(M.SubscriptionSync(total))
+
+    def _on_nack(self, child: str, nack: M.Nack) -> None:
+        relay = self._relay(nack.pubend)
+        wanted = IntervalSet(nack.ranges)
+        # Answer from the cache first.  Ticks below the nack's refilter
+        # boundary must not be cache-served: this cache's S ticks were
+        # filtered under a subscription union that may not include the
+        # (roaming) requester — only the pubend may answer those.
+        reply = M.KnowledgeUpdate(nack.pubend)
+        unresolved = IntervalSet()
+        for iv in wanted:
+            cacheable_start = max(iv.start, nack.refilter_below)
+            if cacheable_start > iv.start:
+                unresolved.add(iv.start, min(iv.end, cacheable_start - 1))
+            if cacheable_start > iv.end:
+                continue
+            for run in relay.cache.runs_between(cacheable_start, iv.end):
+                if run.kind is Tick.Q:
+                    unresolved.add(run.start, run.end)
+                elif run.kind is Tick.D:
+                    assert run.event is not None
+                    reply.d_events.append(run.event)
+                elif run.kind is Tick.S:
+                    reply.s_ranges.append((run.start, run.end))
+                else:
+                    reply.l_ranges.append((run.start, run.end))
+        if not reply.is_empty():
+            self.cache_hits += 1
+            filtered = self._filter_for_child(child, reply)
+            cost = self.costs.serve_nack_per_event_ms * max(1, len(reply.d_events))
+            self.node.submit(cost, lambda: self.send_to_child(child, filtered))
+        if unresolved:
+            self.cache_miss_ticks += unresolved.tick_count()
+            relay.consolidator.register(child, unresolved)
+            due = relay.consolidator.to_forward(unresolved)
+            if due:
+                self.send_up(
+                    M.Nack(nack.pubend, due.as_tuples(), refilter_below=nack.refilter_below)
+                )
+
+    def _on_release(self, child: str, msg: M.ReleaseUpdate) -> None:
+        relay = self._relay(msg.pubend)
+        relay.release_agg.update(child, msg.released, msg.latest_delivered)
+        agg = relay.release_agg.aggregate()
+        if agg is not None and agg != relay.last_release_sent:
+            relay.last_release_sent = agg
+            self.send_up(M.ReleaseUpdate(msg.pubend, agg[0], agg[1]))
+
+    # ------------------------------------------------------------------
+    # Failure handling: an intermediate has no persistent state
+    # ------------------------------------------------------------------
+    def _on_node_recover(self) -> None:
+        self._relays.clear()

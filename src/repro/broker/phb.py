@@ -1,0 +1,241 @@
+"""The publisher hosting broker (PHB).
+
+The PHB is the root of the knowledge tree and the only broker that
+persistently logs events (novel feature 1).  It hosts one or more
+pubends sharing the broker's log disk, disseminates their knowledge to
+child brokers — filtering D ticks down to S per child using the union
+of subscriptions propagated from below — and answers nacks from the
+durable event logs.
+
+Availability note from the paper: PHBs are few, so hosting them on
+fault-tolerant hardware is affordable; SHB availability does not
+matter for durability because events live here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core import messages as M
+from ..core.pubend import Pubend
+from ..core.release import EarlyReleasePolicy
+from ..net.link import Link, LinkEnd
+from ..net.node import Node
+from ..net.simtime import Scheduler
+from ..storage.disk import SimDisk
+from ..storage.table import PersistentTable
+from ..util.errors import ConfigurationError
+from ..util.intervals import IntervalSet
+from .base import Broker
+from .costs import CostModel
+
+
+class PublisherHostingBroker(Broker):
+    """Hosts pubends; root of dissemination, recovery and release."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        name: str,
+        cost_model: Optional[CostModel] = None,
+        speed: float = 1.0,
+        node: Optional[Node] = None,
+        disk: Optional[SimDisk] = None,
+        nack_reply_max_events: int = 375,
+    ) -> None:
+        super().__init__(scheduler, name, cost_model, speed, node)
+        #: The broker's log device, shared by all hosted pubends.
+        self.disk = disk if disk is not None else SimDisk(scheduler, f"{name}-log")
+        self.pubends: Dict[str, Pubend] = {}
+        self.nack_reply_max_events = nack_reply_max_events
+        self.events_accepted = 0
+        self.nacks_served = 0
+        self.duplicates_rejected = 0
+        # Reliable publishing: highest durably-logged sequence number
+        # per publisher, persisted so PHB recovery keeps rejecting
+        # retransmitted duplicates.
+        self.seq_table = PersistentTable(f"{name}.pub_seqs", self.disk)
+        self._pub_seqs: Dict[str, int] = {}       # durable floor (acks)
+        self._accepted_seqs: Dict[str, int] = {}  # staged floor (gap check)
+        self._commit_timer = scheduler.every(250.0, self.seq_table.commit)
+        self.node.on_crash(self._on_node_crash)
+
+    # ------------------------------------------------------------------
+    # Pubend management
+    # ------------------------------------------------------------------
+    def create_pubend(self, name: str, policy: Optional[EarlyReleasePolicy] = None) -> Pubend:
+        if name in self.pubends:
+            raise ConfigurationError(f"pubend {name} already exists on {self.name}")
+        pubend = Pubend(name, self.scheduler, disk=self.disk, policy=policy)
+        pubend.on_knowledge = lambda upd, p=name: self._disseminate(upd)
+        self.pubends[name] = pubend
+        return pubend
+
+    def register_release_child(self, pubend: str, child: str) -> None:
+        """Topology hook: ``child`` will report release state for ``pubend``."""
+        self.pubends[pubend].release_agg.register_child(child)
+
+    # ------------------------------------------------------------------
+    # Publish path
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        pubend: str,
+        attributes: Dict[str, object],
+        payload_bytes: int = 250,
+        publisher: Optional[str] = None,
+    ) -> None:
+        """Accept an event (consumes PHB CPU, then stages the log write)."""
+        self.node.submit(
+            self.costs.publish_ms,
+            lambda: self._do_publish(pubend, attributes, payload_bytes, publisher),
+        )
+
+    def _do_publish(
+        self,
+        pubend: str,
+        attributes: Dict[str, object],
+        payload_bytes: int,
+        publisher: Optional[str],
+    ) -> None:
+        self.pubends[pubend].publish(attributes, payload_bytes, publisher)
+        self.events_accepted += 1
+
+    # ------------------------------------------------------------------
+    # Reliable publishing (exactly-once from publisher to pubend)
+    # ------------------------------------------------------------------
+    def attach_publisher(self, link: Link, client_node: Node) -> None:
+        """Wire a reliable publisher's link (see ReliablePublisher)."""
+        recv_end = link.end_for_sender(client_node)
+        send_end = link.end_for_sender(self.node)
+        recv_end.on_receive(
+            lambda msg: self._on_publisher_message(send_end, msg),
+            lambda msg: self.costs.publish_ms if isinstance(msg, M.PublishRequest) else 0.02,
+        )
+
+    def _on_publisher_message(self, send_end: LinkEnd, msg: object) -> None:
+        if not isinstance(msg, M.PublishRequest):
+            return
+        if msg.publisher is None or msg.seq is None:
+            # Unreliable fire-and-forget publish over a client link.
+            pubend = msg.pubend or next(iter(self.pubends))
+            self._do_publish(pubend, msg.attributes, msg.payload_bytes, msg.publisher)
+            return
+        accepted = self._accepted_seqs.get(
+            msg.publisher, self._pub_seqs.get(msg.publisher, 0)
+        )
+        if msg.seq != accepted + 1:
+            # Go-back-N receiver: accept only the next expected seq.
+            # Below: a retransmitted duplicate.  Above: a gap — earlier
+            # events were lost (e.g. dropped by a crash of this broker
+            # while later sends were already in flight); accepting out
+            # of order would poison the dedup floor.  Either way,
+            # re-acknowledging the durable floor makes the publisher
+            # resend everything after it, in order.
+            self.duplicates_rejected += 1
+            send_end.send(M.PublishAck(msg.publisher, self._pub_seqs.get(msg.publisher, 0)))
+            return
+        self._accepted_seqs[msg.publisher] = msg.seq
+        pubend = msg.pubend or next(iter(self.pubends))
+
+        def durable(publisher: str = msg.publisher, seq: int = msg.seq) -> None:
+            # FIFO links + ordered group commit keep seqs contiguous.
+            if seq > self._pub_seqs.get(publisher, 0):
+                self._pub_seqs[publisher] = seq
+                self.seq_table.put(publisher, seq)
+            send_end.send(M.PublishAck(publisher, self._pub_seqs[publisher]))
+
+        self.pubends[pubend].publish(
+            msg.attributes, msg.payload_bytes, msg.publisher,
+            seq=msg.seq, ttl_ms=msg.ttl_ms, on_durable=durable,
+        )
+        self.events_accepted += 1
+
+    # ------------------------------------------------------------------
+    # Dissemination with per-child filtering
+    # ------------------------------------------------------------------
+    def _disseminate(self, update: M.KnowledgeUpdate) -> None:
+        for child in self.child_names:
+            filtered = self._filter_for_child(child, update)
+            if not filtered.is_empty():
+                cost = self.costs.forward_per_link_event_ms * max(1, len(update.d_events))
+                self.node.submit(cost, lambda c=child, u=filtered: self.send_to_child(c, u))
+
+    def _filter_for_child(self, child: str, update: M.KnowledgeUpdate) -> M.KnowledgeUpdate:
+        """Convert D ticks that match nothing below ``child`` into S.
+
+        A cold union (post-recovery, pre-resync) must not filter:
+        passing events the child may not need is safe; hiding events it
+        does need would be silent loss.
+        """
+        if not self.child_filter_ready.get(child, True):
+            return update
+        engine = self.child_engines[child]
+        out = M.KnowledgeUpdate(update.pubend)
+        out.s_ranges = list(update.s_ranges)
+        out.l_ranges = list(update.l_ranges)
+        for event in update.d_events:
+            if engine.matches_any(event.attributes):
+                out.d_events.append(event)
+            else:
+                out.s_ranges.append((event.timestamp, event.timestamp))
+        return out
+
+    # ------------------------------------------------------------------
+    # Upstream traffic from children
+    # ------------------------------------------------------------------
+    def _handle_from_parent(self, msg: object) -> None:  # pragma: no cover
+        raise ConfigurationError("PHB is the tree root; it has no parent")
+
+    def _handle_from_child(self, child: str, msg: object) -> None:
+        if isinstance(msg, M.Nack):
+            self._serve_nack(child, msg)
+        elif isinstance(msg, M.ReleaseUpdate):
+            pubend = self.pubends.get(msg.pubend)
+            if pubend is not None:
+                pubend.on_release_report(child, msg.released, msg.latest_delivered)
+        elif isinstance(msg, M.SubscriptionAdd):
+            self.child_engines[child].add(msg.sub_id, msg.predicate)
+        elif isinstance(msg, M.SubscriptionRemove):
+            self.child_engines[child].remove(msg.sub_id)
+        elif isinstance(msg, M.SubscriptionSync):
+            self.child_filter_ready[child] = True
+
+    def _serve_nack(self, child: str, nack: M.Nack) -> None:
+        pubend = self.pubends.get(nack.pubend)
+        if pubend is None:
+            return
+        ranges = IntervalSet(nack.ranges)
+        reply = pubend.serve_nack(ranges, max_events=self.nack_reply_max_events)
+        if reply.is_empty():
+            return
+        self.nacks_served += 1
+        reply = self._filter_for_child(child, reply)
+        cost = self.costs.serve_nack_per_event_ms * max(1, len(reply.d_events))
+        self.node.submit(cost, lambda: self.send_to_child(child, reply))
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def _on_node_crash(self) -> None:
+        self._commit_timer.cancel()
+        self.disk.crash_reset()
+        self.seq_table.crash_reset()
+        self._accepted_seqs = {}  # staged acceptances die with the node
+        for pubend in self.pubends.values():
+            pubend.crash_reset()
+
+    def _on_node_recover(self) -> None:
+        for pubend in self.pubends.values():
+            pubend.recover()
+        # Rebuild the dedup floor: the committed table may trail the
+        # durable log (commits are periodic), so take the max of both.
+        self._pub_seqs = {}
+        for publisher, seq in self.seq_table.committed_items():
+            self._pub_seqs[publisher] = seq
+        for pubend in self.pubends.values():
+            for event in pubend.log.read_range(0, 2**60):
+                if event.publisher is not None and event.seq is not None:
+                    if event.seq > self._pub_seqs.get(event.publisher, 0):
+                        self._pub_seqs[event.publisher] = event.seq
+        self._commit_timer = self.scheduler.every(250.0, self.seq_table.commit)

@@ -1,0 +1,589 @@
+"""The subscriber hosting broker (Section 4).
+
+The SHB hosts durable subscribers.  Per pubend it runs:
+
+* one **consolidated stream** for all connected non-catchup
+  subscribers (knowledge accumulates into it exactly as the paper's
+  istream→constream pipeline; the istream's curiosity survives as this
+  broker's per-pubend head-knowledge gap check),
+* one **catchup stream** per connected subscriber still recovering the
+  past, fed by PFS batch reads and flow-controlled nacks,
+* the **PFS** write path (from the constream) and read path (from
+  catchup streams),
+* **release** bookkeeping: ``released(s,p)`` acks from clients,
+  ``released(p)`` reports upstream, and PFS chopping.
+
+Persistent state (tables + PFS log volume on the SHB's disk) survives
+crashes; everything else is volatile and rebuilt in :meth:`recover`,
+after which the constream nacks forward from the durable
+``latestDelivered`` and subscribers re-enter through catchup — the
+exact scenario of Figures 7 and 8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core import messages as M
+from ..core.catchup import CatchupStream
+from ..core.constream import ConsolidatedStream
+from ..core.curiosity import CuriosityStream, NackConsolidator
+from ..core.subscription import SubscriptionRegistry
+from ..core.tickmap import TickMap
+from ..core.ticks import Tick
+from ..matching.engine import MatchingEngine
+from ..net.link import Link, LinkEnd
+from ..net.node import Node
+from ..net.simtime import PeriodicHandle, Scheduler
+from ..pfs.pfs import PersistentFilteringSubsystem
+from ..storage.disk import SimDisk
+from ..storage.logvolume import LogVolume
+from ..storage.table import PersistentTable
+from ..util.errors import ProtocolError
+from ..util.intervals import IntervalSet
+from .base import Broker
+from .costs import CostModel
+
+
+class SubscriberHostingBroker(Broker):
+    """Hosts durable subscribers; implements Section 4 end to end."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        name: str,
+        pubend_names: List[str],
+        cost_model: Optional[CostModel] = None,
+        speed: float = 1.0,
+        node: Optional[Node] = None,
+        disk: Optional[SimDisk] = None,
+        commit_interval_ms: float = 250.0,
+        release_report_interval_ms: float = 250.0,
+        gap_check_interval_ms: float = 50.0,
+        head_nack_retry_ms: float = 250.0,
+        catchup_buffer_qs: int = 5000,
+        catchup_nack_window: int = 256,
+        event_cache_span_ms: int = 120_000,
+        nack_consolidation: bool = True,
+        use_pfs_for_catchup: bool = True,
+        subscription_refresh_ms: float = 2_000.0,
+    ) -> None:
+        super().__init__(scheduler, name, cost_model, speed, node)
+        self.pubend_names = sorted(pubend_names)
+        #: One durable device for PFS records and tables (the paper used
+        #: DB2 plus the Log Volume on the same machine's SSA disks).
+        self.disk = disk if disk is not None else SimDisk(scheduler, f"{name}-store")
+        self.commit_interval_ms = commit_interval_ms
+        self.release_report_interval_ms = release_report_interval_ms
+        self.gap_check_interval_ms = gap_check_interval_ms
+        self.head_nack_retry_ms = head_nack_retry_ms
+        self.catchup_buffer_qs = catchup_buffer_qs
+        self.catchup_nack_window = catchup_nack_window
+        self.event_cache_span_ms = event_cache_span_ms
+        #: Ablation switches (benchmarks/bench_ablation_*.py): disable
+        #: nack consolidation, or force catchup streams to recover by
+        #: wholesale refiltering instead of PFS reads.
+        self.nack_consolidation = nack_consolidation
+        self.use_pfs_for_catchup = use_pfs_for_catchup
+        self.subscription_refresh_ms = subscription_refresh_ms
+
+        # -- persistent stores (survive crashes) -----------------------
+        self.meta_table = PersistentTable(f"{name}.meta", self.disk)
+        self.subs_table = PersistentTable(f"{name}.subs", self.disk)
+        self.released_table = PersistentTable(f"{name}.released", self.disk)
+        self.pfs_volume = LogVolume.in_memory()
+        self.pfs = PersistentFilteringSubsystem(self.pfs_volume, self.disk)
+
+        # -- volatile state (rebuilt on recovery) -----------------------
+        self.registry = SubscriptionRegistry(self.subs_table, self.released_table)
+        self.engine = MatchingEngine()
+        self.constreams: Dict[str, ConsolidatedStream] = {}
+        self.catchups: Dict[Tuple[str, str], CatchupStream] = {}
+        self.head_curiosity: Dict[str, CuriosityStream] = {}
+        self.consolidators: Dict[str, NackConsolidator] = {}
+        self._sessions: Dict[str, LinkEnd] = {}
+        self._session_subs: Dict[int, Set[str]] = {}  # id(link_end) -> subs
+        self._timers: List[PeriodicHandle] = []
+        self.catchup_durations_ms: List[Tuple[float, float]] = []  # (end time, duration)
+        self.catchup_ticks_nacked = 0  # recovery request volume (ablations)
+        self.events_enqueued = 0
+        self.gaps_enqueued = 0
+        self._client_extensions: Dict[type, object] = {}
+
+        self.node.on_crash(self._on_node_crash)
+        self._build_volatile()
+
+    # ------------------------------------------------------------------
+    # Volatile state construction (initial boot and post-crash recovery)
+    # ------------------------------------------------------------------
+    def _build_volatile(self) -> None:
+        self.engine = MatchingEngine()
+        for sub in self.registry.all():
+            self.engine.add(sub.sub_id, sub.predicate)
+            sub.connected = False
+        self.constreams = {}
+        self.head_curiosity = {}
+        self.consolidators = {}
+        self.catchups = {}
+        self._sessions = {}
+        self._session_subs = {}
+        # The SHB's volatile event cache ("caching events at
+        # intermediate brokers and SHBs", Section 1): recent knowledge
+        # answers most catchup nacks locally, keeping mass catchup off
+        # the PHB (the localization Figure 8 demonstrates).
+        self.event_cache: Dict[str, TickMap] = {}
+        self.cache_served_nacks = 0
+        for pubend in self.pubend_names:
+            self.event_cache[pubend] = TickMap()
+            constream = ConsolidatedStream(
+                pubend,
+                self.scheduler,
+                self.registry,
+                self.engine,
+                self.pfs,
+                self.meta_table,
+                deliver=self._deliver,
+            )
+            self.constreams[pubend] = constream
+            self.head_curiosity[pubend] = CuriosityStream(
+                self.scheduler,
+                pubend,
+                send_nack=lambda ranges, p=pubend: self.send_up(M.Nack(p, ranges.as_tuples())),
+                retry_ms=self.head_nack_retry_ms,
+            )
+            self.consolidators[pubend] = NackConsolidator(
+                self.scheduler, suppress=self.nack_consolidation
+            )
+        self._timers = [
+            self.scheduler.every(self.commit_interval_ms, self._commit_tables),
+            self.scheduler.every(self.release_report_interval_ms, self._report_release),
+            self.scheduler.every(self.gap_check_interval_ms, self._gap_check),
+            # Soft-state refresh: upstream subscription unions are
+            # volatile (a recovered parent holds them cold until this
+            # refresh re-syncs them).
+            self.scheduler.every(self.subscription_refresh_ms, self._refresh_subscriptions),
+        ]
+
+    def _teardown_volatile(self) -> None:
+        for timer in self._timers:
+            timer.cancel()
+        self._timers = []
+        for constream in self.constreams.values():
+            constream.close()
+        for catchup in list(self.catchups.values()):
+            catchup.close()
+        for curiosity in self.head_curiosity.values():
+            curiosity.close()
+
+    # ------------------------------------------------------------------
+    # Client attachment
+    # ------------------------------------------------------------------
+    def attach_client(self, link: Link, client_node: Node) -> LinkEnd:
+        """Wire a client's link; returns the client's send end."""
+        recv_end = link.end_for_sender(client_node)
+        send_end = link.end_for_sender(self.node)
+        recv_end.on_receive(
+            lambda msg: self._on_client_message(send_end, msg),
+            self.costs.shb_client_recv_cost,
+        )
+        link.on_disconnect(lambda: self._client_link_down(send_end))
+        return recv_end
+
+    def register_client_extension(self, msg_type: type, handler) -> None:
+        """Install a handler for an extension client message type.
+
+        Used by layers built on top of the core protocol — the JMS
+        durable-subscription layer registers its checkpoint-commit
+        messages here.
+        """
+        self._client_extensions[msg_type] = handler
+
+    def _on_client_message(self, send_end: LinkEnd, msg: object) -> None:
+        if isinstance(msg, M.ConnectRequest):
+            self._on_connect(send_end, msg)
+        elif isinstance(msg, M.AckCheckpoint):
+            self._on_ack(msg)
+        elif isinstance(msg, M.DisconnectRequest):
+            self._disconnect_sub(msg.sub_id)
+        else:
+            handler = self._client_extensions.get(type(msg))
+            if handler is not None:
+                handler(send_end, msg)
+
+    def _on_connect(self, send_end: LinkEnd, req: M.ConnectRequest) -> None:
+        sub = self.registry.get(req.sub_id)
+        refilter_until: Dict[str, int] = {}
+        if sub is None:
+            if req.predicate is None:
+                raise ProtocolError(f"first connect of {req.sub_id} must carry a predicate")
+            sub = self.registry.create(req.sub_id, req.predicate)
+            self.engine.add(sub.sub_id, sub.predicate)
+            self.send_up(M.SubscriptionAdd(self._global_sub_id(sub.sub_id), sub.predicate))
+            if req.checkpoint is None:
+                # A new subscriber starts at the constream's cursor and
+                # is therefore immediately in non-catchup mode (§4.1).
+                checkpoint = {
+                    p: self.constreams[p].delivered_cursor for p in self.pubend_names
+                }
+            else:
+                # Reconnect-anywhere (the paper's feature 5): a durable
+                # subscriber from another SHB presents its CT here.
+                # This SHB's PFS has no records for it below the
+                # registration point, so that span is recovered by
+                # refiltering nacked events; from here on the PFS
+                # covers it like any local subscription.
+                checkpoint = dict(req.checkpoint)
+                refilter_until = {
+                    p: self.constreams[p].delivered_cursor for p in self.pubend_names
+                }
+            for pubend, t in checkpoint.items():
+                if pubend in self.constreams:
+                    self.registry.ack(sub.sub_id, pubend, t)
+        else:
+            if req.checkpoint is None:
+                raise ProtocolError(f"reconnect of {req.sub_id} must carry its CT")
+            checkpoint = dict(req.checkpoint)
+        if sub.connected:
+            # Stale session (e.g. client crashed and reconnected before
+            # we noticed); the new session replaces it.
+            self._disconnect_sub(sub.sub_id)
+        sub.connected = True
+        self._sessions[sub.sub_id] = send_end
+        self._session_subs.setdefault(id(send_end), set()).add(sub.sub_id)
+        send_end.send(M.ConnectAccept(sub.sub_id, dict(checkpoint)))
+        for pubend in self.pubend_names:
+            constream = self.constreams[pubend]
+            start = checkpoint.get(pubend, constream.delivered_cursor)
+            if start >= constream.delivered_cursor:
+                # Already at (or ahead of — see ConsolidatedStream.
+                # add_non_catchup) the consolidated stream's cursor.
+                constream.add_non_catchup(sub.sub_id, floor=start)
+            else:
+                self._start_catchup(
+                    sub.sub_id, pubend, start,
+                    refilter_until=refilter_until.get(pubend, 0),
+                )
+
+    def _global_sub_id(self, sub_id: str) -> str:
+        """Subscription ids must be unique across the overlay."""
+        return f"{self.name}/{sub_id}"
+
+    def _on_ack(self, ack: M.AckCheckpoint) -> None:
+        for pubend, t in ack.checkpoint.items():
+            if pubend in self.constreams and ack.sub_id in self.registry:
+                self.registry.ack(ack.sub_id, pubend, t)
+
+    def _client_link_down(self, send_end: LinkEnd) -> None:
+        for sub_id in list(self._session_subs.get(id(send_end), ())):
+            self._disconnect_sub(sub_id)
+
+    def _disconnect_sub(self, sub_id: str) -> None:
+        sub = self.registry.get(sub_id)
+        if sub is not None:
+            sub.connected = False
+        end = self._sessions.pop(sub_id, None)
+        if end is not None:
+            subs = self._session_subs.get(id(end))
+            if subs is not None:
+                subs.discard(sub_id)
+        for pubend in self.pubend_names:
+            self.constreams[pubend].remove_subscriber(sub_id)
+            catchup = self.catchups.pop((sub_id, pubend), None)
+            if catchup is not None:
+                catchup.close()
+                self.consolidators[pubend].drop_requester((sub_id, pubend))
+
+    def unsubscribe(self, sub_id: str) -> None:
+        """Destroy a durable subscription entirely."""
+        self._disconnect_sub(sub_id)
+        if sub_id in self.registry:
+            self.registry.drop(sub_id)
+            self.engine.remove(sub_id)
+            self.send_up(M.SubscriptionRemove(self._global_sub_id(sub_id)))
+
+    # ------------------------------------------------------------------
+    # Catchup streams
+    # ------------------------------------------------------------------
+    def _start_catchup(
+        self, sub_id: str, pubend: str, start: int, refilter_until: int = 0
+    ) -> None:
+        sub = self.registry.get(sub_id)
+        assert sub is not None
+        key = (sub_id, pubend)
+
+        def deliver(msg: object) -> None:
+            on_sent = None
+            if isinstance(msg, M.EventMessage):
+                on_sent = lambda: self._catchup_delivery_sent(key)
+            self._deliver(sub_id, msg, via_catchup=True, on_sent=on_sent)
+
+        def send_nack(ranges: IntervalSet) -> None:
+            self._catchup_nack(key, pubend, ranges)
+
+        def on_switchover() -> None:
+            self._on_switchover(key)
+
+        caches_valid = refilter_until == 0
+        if not self.use_pfs_for_catchup:
+            # Ablation: ignore the PFS entirely — recover the whole
+            # missed span by nack + refilter (what the system would do
+            # without the paper's novel feature 2).  Caches stay valid:
+            # the subscription was registered while they filled.
+            refilter_until = 2**60
+        stream = CatchupStream(
+            self.scheduler,
+            pubend,
+            sub,
+            start,
+            self.pfs,
+            self.constreams[pubend],
+            deliver=deliver,
+            send_nack=send_nack,
+            on_switchover=on_switchover,
+            buffer_qs=self.catchup_buffer_qs,
+            nack_window_ticks=self.catchup_nack_window,
+            run_costed=self._run_control,
+            refilter_until=refilter_until,
+            caches_valid=caches_valid,
+            track_deliveries=True,
+        )
+        # A trivial catchup (e.g. a pure-silence span) can complete
+        # synchronously inside the constructor; record its duration but
+        # don't track the already-closed stream.
+        if not stream.closed:
+            self.catchups[key] = stream
+        else:
+            self.catchup_durations_ms.append(
+                (self.scheduler.now, stream.catchup_duration_ms)
+            )
+
+    def _run_control(self, cost_ms: float, fn) -> None:
+        """Run protocol control work (PFS reads) synchronously, charging
+        its CPU cost as accounting-only load.
+
+        Control work must not wait behind the bulk delivery queue: in a
+        real broker it runs on other processors (the testbed machines
+        were 6-way SMPs); gating the catchup control loop behind queued
+        deliveries creates a latency-equals-progress equilibrium where
+        streams chase the moving target forever.
+        """
+        self.node.try_submit(cost_ms, lambda: None)
+        fn()
+
+    def _catchup_delivery_sent(self, key: Tuple[str, str]) -> None:
+        stream = self.catchups.get(key)
+        if stream is not None:
+            stream.on_delivery_sent()
+
+    def _catchup_nack(self, key: Tuple[str, str], pubend: str, ranges: IntervalSet) -> None:
+        # Serve what the local event cache knows; only the remainder
+        # travels upstream (consolidated).  The cache holds knowledge
+        # filtered by this SHB's *historical* subscription union, so it
+        # must not answer a reconnect-anywhere stream's refilter span.
+        stream = self.catchups.get(key)
+        refilter_below = 0
+        if stream is not None and not stream.caches_valid:
+            refilter_below = stream.refilter_until + 1
+        cache = self.event_cache[pubend]
+        reply = M.KnowledgeUpdate(pubend)
+        unresolved = IntervalSet()
+        for iv in ranges:
+            cacheable_start = max(iv.start, refilter_below)
+            if cacheable_start > iv.start:
+                unresolved.add(iv.start, min(iv.end, cacheable_start - 1))
+            if cacheable_start > iv.end:
+                continue
+            for run in cache.runs_between(cacheable_start, iv.end):
+                if run.kind is Tick.Q:
+                    unresolved.add(run.start, run.end)
+                elif run.kind is Tick.D:
+                    assert run.event is not None
+                    reply.d_events.append(run.event)
+                elif run.kind is Tick.S:
+                    reply.s_ranges.append((run.start, run.end))
+                else:
+                    reply.l_ranges.append((run.start, run.end))
+        if not reply.is_empty():
+            self.cache_served_nacks += 1
+            # Serve synchronously: the stream's curiosity must see these
+            # ticks resolved *before* its next retry window, or overload
+            # turns into a renack storm (the reply waiting in the CPU
+            # queue while the same ticks are re-requested).  The real
+            # CPU cost is charged where it is paid: per delivered
+            # message in _deliver, plus a small accounting charge for
+            # the cache lookup itself.
+            self.node.try_submit(
+                self.costs.serve_nack_per_event_ms * max(1, len(reply.d_events)),
+                lambda: None,
+            )
+            if stream is not None:
+                stream.on_knowledge(reply)
+        if unresolved:
+            consolidator = self.consolidators[pubend]
+            consolidator.register(key, unresolved)
+            due = consolidator.to_forward(unresolved)
+            if due:
+                self.send_up(M.Nack(pubend, due.as_tuples(), refilter_below=refilter_below))
+
+    def _on_switchover(self, key: Tuple[str, str]) -> None:
+        sub_id, pubend = key
+        catchup = self.catchups.pop(key, None)
+        if catchup is not None:
+            self.catchup_durations_ms.append((self.scheduler.now, catchup.catchup_duration_ms))
+            self.catchup_ticks_nacked += catchup.curiosity.ticks_nacked
+            self.consolidators[pubend].drop_requester(key)
+        if sub_id in self._sessions:
+            self.constreams[pubend].add_non_catchup(sub_id)
+
+    def in_catchup(self, sub_id: str, pubend: str) -> bool:
+        """The paper's ``catchup(s, p)`` predicate."""
+        sub = self.registry.get(sub_id)
+        if sub is None or not sub.connected:
+            return True  # becomes true the instant the subscriber disconnects
+        return (sub_id, pubend) in self.catchups
+
+    # ------------------------------------------------------------------
+    # Delivery (shared by constream and catchup streams)
+    # ------------------------------------------------------------------
+    def _deliver(
+        self, sub_id: str, msg: object, via_catchup: bool = False, on_sent=None
+    ) -> None:
+        if isinstance(msg, M.EventMessage):
+            cost = (
+                self.costs.catchup_deliver_event_ms
+                if via_catchup
+                else self.costs.deliver_event_ms
+            )
+        else:
+            cost = self.costs.deliver_control_ms
+        if isinstance(msg, M.EventMessage):
+            self.events_enqueued += 1
+        elif isinstance(msg, M.GapMessage):
+            self.gaps_enqueued += 1
+        self.node.submit(cost, lambda: self._do_send(sub_id, msg, on_sent))
+
+    def _do_send(self, sub_id: str, msg: object, on_sent=None) -> None:
+        end = self._sessions.get(sub_id)
+        if end is not None:
+            end.send(msg)
+        if on_sent is not None:
+            on_sent()
+
+    # ------------------------------------------------------------------
+    # Knowledge intake from the parent
+    # ------------------------------------------------------------------
+    def _handle_from_parent(self, msg: object) -> None:
+        if isinstance(msg, M.KnowledgeUpdate):
+            self._on_knowledge(msg)
+
+    def _on_knowledge(self, update: M.KnowledgeUpdate) -> None:
+        pubend = update.pubend
+        constream = self.constreams.get(pubend)
+        if constream is None:
+            return
+        self._cache_knowledge(pubend, update)
+        old, new = M.split_update(update, constream.delivered_cursor)
+        if not new.is_empty():
+            constream.accumulate(new)
+        if not old.is_empty():
+            self._route_to_catchups(pubend, old)
+
+    def _cache_knowledge(self, pubend: str, update: M.KnowledgeUpdate) -> None:
+        cache = self.event_cache[pubend]
+        for start, end in update.l_ranges:
+            cache.set_lost_below(end + 1)
+        for start, end in update.s_ranges:
+            cache.set_s(start, end)
+        for event in update.d_events:
+            cache.set_d(event.timestamp, event)
+        floor = cache.max_known() - self.event_cache_span_ms
+        if floor > 0:
+            cache.forget_below(floor)
+
+    def _route_to_catchups(self, pubend: str, old: M.KnowledgeUpdate) -> None:
+        consolidator = self.consolidators[pubend]
+        hi = old.max_tick()
+        assert hi is not None
+        for key in consolidator.route(0, hi):
+            catchup = self.catchups.get(key)  # type: ignore[arg-type]
+            interest = consolidator.interest_of(key)
+            if catchup is None or interest is None:
+                continue
+            pieces = M.clip_update_to_set(old, interest)
+            if not pieces.is_empty():
+                catchup.on_knowledge(pieces)
+        covered = IntervalSet(old.s_ranges + old.l_ranges)
+        for event in old.d_events:
+            covered.add(event.timestamp)
+        consolidator.satisfy_set(covered)
+
+    def _handle_from_child(self, child: str, msg: object) -> None:  # pragma: no cover
+        raise ProtocolError("SHBs are leaves of the broker tree")
+
+    # ------------------------------------------------------------------
+    # Periodic maintenance
+    # ------------------------------------------------------------------
+    def _gap_check(self) -> None:
+        """The istream's curiosity: nack Q gaps in head knowledge."""
+        for pubend, constream in self.constreams.items():
+            knowledge = constream.knowledge
+            frontier = knowledge.frontier
+            unknown = knowledge.unknown_up_to(frontier)
+            self.head_curiosity[pubend].set_want(unknown)
+
+    def _refresh_subscriptions(self) -> None:
+        for sub in self.registry.all():
+            self.send_up(M.SubscriptionAdd(self._global_sub_id(sub.sub_id), sub.predicate))
+        self.send_up(M.SubscriptionSync(len(self.registry)))
+
+    def _commit_tables(self) -> None:
+        self.meta_table.commit()
+        self.registry.commit()
+
+    def _report_release(self) -> None:
+        for pubend, constream in self.constreams.items():
+            # Both values are capped at the *committed* latestDelivered:
+            # the pubend may release (convert to L) only ticks that a
+            # post-crash recovery of this SHB will never replay.
+            committed_ld = constream.committed_latest_delivered
+            released = min(constream.released, committed_ld)
+            self.send_up(M.ReleaseUpdate(pubend, released, committed_ld))
+            if released > 0:
+                self.pfs.chop_below(pubend, released + 1)
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def _on_node_crash(self) -> None:
+        self._teardown_volatile()
+        self.disk.crash_reset()
+        self.meta_table.crash_reset()
+        self.pfs.crash_reset()
+        self.registry.crash_reset()
+
+    def _on_node_recover(self) -> None:
+        """Rebuild from persistent state (Section 4.1 recovery).
+
+        The constream resumes from the committed ``latestDelivered``;
+        the head gap check will nack everything the broker missed while
+        down; subscribers reconnect on their own and go through catchup.
+        """
+        self._build_volatile()
+        self._refresh_subscriptions()
+
+    # ------------------------------------------------------------------
+    # Introspection for experiments
+    # ------------------------------------------------------------------
+    def latest_delivered(self, pubend: str) -> int:
+        return self.constreams[pubend].latest_delivered
+
+    def released(self, pubend: str) -> int:
+        return self.constreams[pubend].released
+
+    @property
+    def active_catchup_count(self) -> int:
+        return len(self.catchups)
+
+    @property
+    def connected_count(self) -> int:
+        return len(self._sessions)

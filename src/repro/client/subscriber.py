@@ -1,0 +1,213 @@
+"""Durable subscriber clients.
+
+Implements the subscriber side of the Section 2 system model:
+
+* owns its Checkpoint Token, advancing it as event/silence/gap messages
+  arrive in per-pubend timestamp order,
+* persists the CT locally "in the context of the transaction that
+  consumes messages" (modelled by a committed snapshot taken every
+  ``commit_every`` consumed messages; a client crash rolls back to it),
+* acks the CT to the SHB periodically (the experiments use 250 ms),
+* can disconnect (gracefully or by crash) and reconnect presenting its
+  current — or a deliberately stale — CT.
+
+The client also keeps the verification counters the test-suite's
+exactly-once checks are built on: per-pubend delivery counts, strict
+monotonicity violations (which would indicate duplicates or reordering)
+and received gap ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..broker.shb import SubscriberHostingBroker
+from ..core import messages as M
+from ..core.checkpoint import CheckpointToken
+from ..matching.predicates import Predicate
+from ..net.link import Link, LinkEnd
+from ..net.node import Node
+from ..net.simtime import PeriodicHandle, Scheduler
+from ..util.errors import NotConnectedError
+
+
+@dataclass
+class DeliveryStats:
+    """Verification counters for one subscriber."""
+
+    events: int = 0
+    silences: int = 0
+    gaps: int = 0
+    order_violations: int = 0
+    last_event_ts: Dict[str, int] = field(default_factory=dict)
+    gap_ranges: List[Tuple[str, int, int]] = field(default_factory=list)
+
+
+class DurableSubscriber:
+    """A durable subscriber application process."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        sub_id: str,
+        node: Node,
+        predicate: Predicate,
+        ack_interval_ms: float = 250.0,
+        commit_every: int = 1,
+        record_events: bool = False,
+        on_event: Optional[object] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.sub_id = sub_id
+        self.node = node
+        self.predicate = predicate
+        self.ack_interval_ms = ack_interval_ms
+        self.commit_every = commit_every
+        self.record_events = record_events
+        #: Optional application callback invoked with each EventMessage
+        #: as it is consumed (used e.g. for latency measurement).
+        self.on_event = on_event
+        self.ct = CheckpointToken()
+        self.committed_ct = CheckpointToken()
+        self._since_commit = 0
+        self._shb: Optional[SubscriberHostingBroker] = None
+        self._link: Optional[Link] = None
+        self._send: Optional[LinkEnd] = None
+        self._ack_timer: Optional[PeriodicHandle] = None
+        self._first_connect_done = False
+        self.connected = False
+        self.stats = DeliveryStats()
+        self.received_event_ids: List[str] = []
+        self.received_event_id_set: Set[str] = set()
+        self.duplicate_events = 0
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+    def connect(self, shb: SubscriberHostingBroker, latency_ms: float = 0.5) -> None:
+        """Connect (first time or reconnect) to an SHB."""
+        if self.connected:
+            raise NotConnectedError(f"{self.sub_id} is already connected")
+        self._shb = shb
+        link = Link(self.scheduler, self.node, shb.node, latency_ms)
+        self._send = shb.attach_client(link, self.node)
+        self._link = link
+        shb_end = link.end_for_sender(shb.node)
+        shb_end.on_receive(self._on_message, shb.costs.client_recv_cost)
+        link.on_disconnect(self._on_link_down)
+        if self._first_connect_done:
+            # The predicate rides along so a reconnect to a *different*
+            # SHB (reconnect-anywhere) can register the subscription
+            # there; an SHB that already knows the subscription ignores
+            # it.
+            request = M.ConnectRequest(
+                self.sub_id, checkpoint=self.ct.as_dict(), predicate=self.predicate
+            )
+        else:
+            request = M.ConnectRequest(self.sub_id, predicate=self.predicate)
+        self._send.send(request)
+        self.connected = True
+        self._ack_timer = self.scheduler.every(self.ack_interval_ms, self._send_ack)
+
+    def disconnect(self) -> None:
+        """Graceful disconnect (sends a DisconnectRequest first)."""
+        if not self.connected:
+            return
+        assert self._send is not None and self._link is not None
+        self._send.send(M.DisconnectRequest(self.sub_id))
+        self._drop_connection()
+
+    def crash(self) -> None:
+        """Involuntary disconnect: the link just drops.
+
+        The CT rolls back to the committed snapshot, exactly as an
+        application recovering from its own failure would observe.
+        """
+        if self.connected:
+            assert self._link is not None
+            self._link.sever()
+        self._drop_connection()
+        self.ct = self.committed_ct.copy()
+
+    def _drop_connection(self) -> None:
+        if self._ack_timer is not None:
+            self._ack_timer.cancel()
+            self._ack_timer = None
+        self.connected = False
+        self._link = None
+        self._send = None
+
+    def _on_link_down(self) -> None:
+        # SHB crashed (or the link was severed out from under us).
+        if self.connected:
+            self._drop_connection()
+
+    # ------------------------------------------------------------------
+    # Message consumption
+    # ------------------------------------------------------------------
+    def _on_message(self, msg: object) -> None:
+        if isinstance(msg, M.ConnectAccept):
+            self._on_accept(msg)
+        elif isinstance(msg, M.EventMessage):
+            self._consume_event(msg)
+        elif isinstance(msg, M.SilenceMessage):
+            self._consume_marker(msg.pubend, msg.t, is_gap=False)
+        elif isinstance(msg, M.GapMessage):
+            self._consume_marker(msg.pubend, msg.t, is_gap=True)
+
+    def _on_accept(self, msg: M.ConnectAccept) -> None:
+        if not self._first_connect_done:
+            # The SHB assigned our starting point; adopt it wholesale.
+            self.ct = CheckpointToken(msg.checkpoint)
+            self.committed_ct = self.ct.copy()
+            self._first_connect_done = True
+
+    def _consume_event(self, msg: M.EventMessage) -> None:
+        last = self.stats.last_event_ts.get(msg.pubend, -1)
+        if msg.t <= last or msg.t <= self.ct.get(msg.pubend, -1):
+            self.stats.order_violations += 1
+        self.stats.last_event_ts[msg.pubend] = max(last, msg.t)
+        self.stats.events += 1
+        if self.record_events:
+            event_id = msg.event.event_id
+            if event_id in self.received_event_id_set:
+                self.duplicate_events += 1
+            else:
+                self.received_event_id_set.add(event_id)
+                self.received_event_ids.append(event_id)
+        self._advance(msg.pubend, msg.t)
+        if self.on_event is not None:
+            self.on_event(msg)  # type: ignore[operator]
+
+    def _consume_marker(self, pubend: str, t: int, is_gap: bool) -> None:
+        if t < self.ct.get(pubend, 0):
+            self.stats.order_violations += 1
+            return
+        if is_gap:
+            self.stats.gaps += 1
+            self.stats.gap_ranges.append((pubend, self.ct.get(pubend, 0) + 1, t))
+        else:
+            self.stats.silences += 1
+        self._advance(pubend, t)
+
+    def _advance(self, pubend: str, t: int) -> None:
+        if t > self.ct.get(pubend, -1):
+            self.ct.advance(pubend, t)
+        self._since_commit += 1
+        if self._since_commit >= self.commit_every:
+            self.committed_ct = self.ct.copy()
+            self._since_commit = 0
+
+    # ------------------------------------------------------------------
+    # Acks
+    # ------------------------------------------------------------------
+    def _send_ack(self) -> None:
+        if self.connected and self._send is not None:
+            # Ack the *committed* CT: acknowledging past it could turn
+            # a client crash into message loss.
+            self._send.send(M.AckCheckpoint(self.sub_id, self.committed_ct.as_dict()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "connected" if self.connected else "disconnected"
+        return f"<DurableSubscriber {self.sub_id} {state} events={self.stats.events}>"

@@ -1,0 +1,96 @@
+"""Checkpoint Tokens (CT) — the subscriber-owned vector clock.
+
+Section 2: *"When a durable subscriber s first connects to the system,
+it is provided a starting point (a timestamp) for each pubend in the
+system.  This set of (pubend, timestamp) pairs is essentially a Vector
+Clock, and we refer to it as the Checkpoint Token (CT) of subscriber
+s."*
+
+The CT is owned by the *subscriber*, not the messaging system: the
+subscriber persists it in the same transaction that consumes messages,
+acks it periodically, and presents it on reconnect.  The model is
+deliberately more flexible than JMS — presenting a stale CT is legal
+and yields duplicates/gaps only for already-acknowledged ticks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from ..util.errors import SubscriptionError
+
+
+class CheckpointToken:
+    """A mutable map ``pubend -> highest consumed timestamp``."""
+
+    __slots__ = ("_clock",)
+
+    def __init__(self, clock: Optional[Mapping[str, int]] = None) -> None:
+        self._clock: Dict[str, int] = dict(clock or {})
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def get(self, pubend: str, default: int = 0) -> int:
+        """``CT(s, p)`` — current timestamp value for ``pubend``."""
+        return self._clock.get(pubend, default)
+
+    def pubends(self) -> Iterator[str]:
+        return iter(self._clock)
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        return iter(self._clock.items())
+
+    def as_dict(self) -> Dict[str, int]:
+        """A plain-dict snapshot (wire format for connect/ack messages)."""
+        return dict(self._clock)
+
+    def copy(self) -> "CheckpointToken":
+        return CheckpointToken(self._clock)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CheckpointToken):
+            return NotImplemented
+        return self._clock == other._clock
+
+    def __len__(self) -> int:
+        return len(self._clock)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CheckpointToken({self._clock!r})"
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def advance(self, pubend: str, timestamp: int) -> None:
+        """Set ``CT(s, p) = timestamp``; must not regress.
+
+        The subscriber calls this after consuming a message with
+        timestamp ``timestamp`` and all preceding messages from that
+        pubend (Section 2).
+        """
+        current = self._clock.get(pubend)
+        if current is not None and timestamp < current:
+            raise SubscriptionError(
+                f"CT regression for {pubend}: {timestamp} < {current}"
+            )
+        self._clock[pubend] = timestamp
+
+    def set_initial(self, pubend: str, timestamp: int) -> None:
+        """Install a starting point for a pubend not yet tracked."""
+        if pubend in self._clock:
+            raise SubscriptionError(f"pubend {pubend} already has a CT entry")
+        self._clock[pubend] = timestamp
+
+    def merge_max(self, other: "CheckpointToken") -> None:
+        """Pointwise maximum — used when recovering from stale replicas."""
+        for pubend, t in other.items():
+            if t > self._clock.get(pubend, -1):
+                self._clock[pubend] = t
+
+    # ------------------------------------------------------------------
+    # Comparison
+    # ------------------------------------------------------------------
+    def dominates(self, other: "CheckpointToken") -> bool:
+        """True if this CT is >= ``other`` on every pubend ``other`` tracks."""
+        return all(self.get(p, -1) >= t for p, t in other.items())

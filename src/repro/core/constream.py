@@ -1,0 +1,261 @@
+"""The consolidated stream (Section 4.1).
+
+One constream per (SHB, pubend) drives *all* connected subscribers that
+are not in catchup mode — the consolidation that lets an SHB host many
+subscribers.  It maintains:
+
+* ``latestDelivered(p)`` — the latest event delivered to all
+  non-catchup subscribers **and** durably logged in the PFS.  Persisted
+  in a table so it survives SHB crashes.
+* the doubt horizon — highest timestamp with no Q below it; events
+  between ``latestDelivered`` and the horizon are delivered in sequence.
+* ``released(s, p)`` per subscriber (held in the
+  :class:`~repro.core.subscription.SubscriptionRegistry`) and the
+  derived ``released(p) = min(latestDelivered, min_s released(s, p))``.
+
+Delivery discipline: an event is *delivered* to a subscriber the moment
+it is enqueued on the FIFO link (no application-level ack), but
+delivery to the **PFS** completes only when the record is durable —
+``latestDelivered`` advances to a tick only once every D tick at or
+below it has a durable PFS record.  The constream never emits a gap
+message: the release protocol guarantees no tick above
+``latestDelivered`` is ever converted to L, and an L run reaching this
+stream is a protocol violation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from ..matching.engine import MatchingEngine
+from ..net.simtime import Scheduler
+from ..pfs.pfs import PersistentFilteringSubsystem
+from ..storage.table import PersistentTable
+from ..util.errors import ProtocolError
+from .knowledge import KnowledgeStream
+from .messages import EventMessage, KnowledgeUpdate, SilenceMessage
+from .subscription import SubscriptionRegistry
+from .ticks import Tick
+
+DeliverFn = Callable[[str, object], None]
+
+
+class ConsolidatedStream:
+    """The shared delivery stream for non-catchup subscribers."""
+
+    def __init__(
+        self,
+        pubend: str,
+        scheduler: Scheduler,
+        registry: SubscriptionRegistry,
+        engine: MatchingEngine,
+        pfs: PersistentFilteringSubsystem,
+        meta_table: PersistentTable,
+        deliver: DeliverFn,
+        silence_interval_ms: float = 100.0,
+        silence_lag_ms: int = 200,
+    ) -> None:
+        self.pubend = pubend
+        self.scheduler = scheduler
+        self.registry = registry
+        self.engine = engine
+        self.pfs = pfs
+        self.meta_table = meta_table
+        self.deliver = deliver
+        self.silence_lag_ms = silence_lag_ms
+        self._meta_key = f"latestDelivered:{pubend}"
+        #: Recovered from the committed table on construction: after an
+        #: SHB crash the constream resumes from the durable value.
+        self.latest_delivered: int = meta_table.get(self._meta_key, 0)
+        self.knowledge = KnowledgeStream(pubend, consumed=self.latest_delivered)
+        self._pending_pfs: Deque[int] = deque()  # D ticks awaiting PFS durability
+        self._non_catchup: Dict[str, int] = {}   # sub_id -> last message timestamp
+        self._listeners: List[Callable[[int], None]] = []
+        self.events_delivered = 0
+        self.silences_sent = 0
+        self.expired_skipped = 0
+        self._pumping = False
+        self._repump = False
+        self._silence_timer = scheduler.every(silence_interval_ms, self._silence_tick)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add_non_catchup(self, sub_id: str, floor: Optional[int] = None) -> None:
+        """A connected subscriber joins (new, or finished catching up).
+
+        ``floor`` is the subscriber's resume point: no tick at or below
+        it is delivered.  It defaults to the current delivery cursor
+        (right for catchup switchover and brand-new subscriptions) but
+        can be *ahead* of it — an SHB recovering from a crash replays
+        from its committed latestDelivered, while a reconnecting
+        subscriber's CT reflects everything the previous incarnation
+        already delivered; redelivering would violate exactly-once.
+        """
+        if floor is None:
+            floor = self.delivered_cursor
+        self._non_catchup[sub_id] = max(floor, self.delivered_cursor)
+
+    def remove_subscriber(self, sub_id: str) -> None:
+        """Subscriber disconnected (it becomes catchup on reconnect)."""
+        self._non_catchup.pop(sub_id, None)
+
+    @property
+    def non_catchup_count(self) -> int:
+        return len(self._non_catchup)
+
+    def is_non_catchup(self, sub_id: str) -> bool:
+        return sub_id in self._non_catchup
+
+    def on_latest_delivered(self, fn: Callable[[int], None]) -> None:
+        """Register a listener for latestDelivered advances."""
+        self._listeners.append(fn)
+
+    def remove_latest_delivered_listener(self, fn: Callable[[int], None]) -> None:
+        """Deregister a listener (catchup streams do this on switchover)."""
+        try:
+            self._listeners.remove(fn)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Knowledge intake and delivery
+    # ------------------------------------------------------------------
+    @property
+    def doubt_horizon(self) -> int:
+        return self.knowledge.doubt_horizon
+
+    def accumulate(self, update: KnowledgeUpdate) -> None:
+        self.knowledge.accumulate(update)
+        self.pump()
+
+    @property
+    def delivered_cursor(self) -> int:
+        """The subscriber-delivery cursor: every tick at or below it has
+        been pumped (enqueued to matching non-catchup subscribers and
+        written to the PFS, though not necessarily PFS-durable yet).
+
+        ``latest_delivered`` trails this by the PFS sync window; catchup
+        switchover and new-subscriber starting points use this cursor,
+        while crash recovery and the release protocol use the durable
+        ``latest_delivered``.
+        """
+        return self.knowledge.consumed
+
+    def pump(self) -> None:
+        """Deliver every newly-resolved tick in order (Section 4.1).
+
+        Re-entrant calls (e.g. from a synchronous PFS-durability
+        callback of a write issued inside the pump) are deferred so
+        delivery order is preserved: the outer invocation drains until
+        no new knowledge remains.
+        """
+        if self._pumping:
+            self._repump = True
+            return
+        self._pumping = True
+        try:
+            while True:
+                self._repump = False
+                self._pump_once()
+                if not self._repump:
+                    break
+        finally:
+            self._pumping = False
+
+    def _pump_once(self) -> None:
+        runs = self.knowledge.advance()
+        for run in runs:
+            if run.kind is Tick.L:
+                raise ProtocolError(
+                    f"L tick {run.start} above latestDelivered reached constream "
+                    f"{self.pubend} — release protocol violation"
+                )
+            if run.kind is not Tick.D:
+                continue
+            event = run.event
+            assert event is not None
+            t = run.start
+            if event.expired(self.scheduler.now):
+                # JMS-style publisher expiration: an expired event is
+                # delivered to nobody and needs no PFS record (catchup
+                # reads correctly see the tick as silence).
+                self.expired_skipped += 1
+                continue
+            matched = self.engine.match(event.attributes)
+            nums = []
+            for sub_id in matched:
+                sub = self.registry.get(sub_id)
+                if sub is not None:
+                    nums.append(sub.num)
+            if nums:
+                # The PFS logs the Q tick for every matching durable
+                # subscriber, connected or not.
+                self._pending_pfs.append(t)
+                self.pfs.write(self.pubend, t, nums, on_durable=lambda t=t: self._pfs_durable(t))
+            for sub_id in matched:
+                last_sent = self._non_catchup.get(sub_id)
+                if last_sent is not None and t > last_sent:
+                    self.deliver(sub_id, EventMessage(self.pubend, t, event))
+                    self._non_catchup[sub_id] = t
+                    self.events_delivered += 1
+        self._recompute_latest_delivered()
+
+    def _pfs_durable(self, t: int) -> None:
+        if self._pending_pfs and self._pending_pfs[0] == t:
+            self._pending_pfs.popleft()
+        else:  # pragma: no cover - PFS durability is FIFO
+            try:
+                self._pending_pfs.remove(t)
+            except ValueError:
+                return
+        self._recompute_latest_delivered()
+
+    def _recompute_latest_delivered(self) -> None:
+        if self._pending_pfs:
+            candidate = self._pending_pfs[0] - 1
+        else:
+            candidate = self.knowledge.consumed
+        if candidate > self.latest_delivered:
+            self.latest_delivered = candidate
+            self.meta_table.put(self._meta_key, candidate)
+            for fn in self._listeners:
+                fn(candidate)
+
+    # ------------------------------------------------------------------
+    # Silence to prevent CT lag (Section 4.1)
+    # ------------------------------------------------------------------
+    def _silence_tick(self) -> None:
+        horizon = self.latest_delivered
+        for sub_id, last_sent in list(self._non_catchup.items()):
+            if horizon - last_sent >= self.silence_lag_ms:
+                self.deliver(sub_id, SilenceMessage(self.pubend, horizon))
+                self._non_catchup[sub_id] = horizon
+                self.silences_sent += 1
+
+    # ------------------------------------------------------------------
+    # Release bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def released(self) -> int:
+        """``released(p)`` — the highest timestamp that can be released."""
+        min_sub = self.registry.min_released(self.pubend)
+        if min_sub is None:
+            return self.latest_delivered
+        return min(self.latest_delivered, min_sub)
+
+    @property
+    def committed_latest_delivered(self) -> int:
+        """The crash-durable latestDelivered — where recovery resumes.
+
+        Release reports must be capped here: if the pubend converted a
+        tick above this value to L and the SHB then crashed, the
+        recovering constream would replay into the released region and
+        be forced to emit gaps to well-behaved subscribers, which the
+        protocol forbids.
+        """
+        return self.meta_table.get_committed(self._meta_key, 0)
+
+    def close(self) -> None:
+        self._silence_timer.cancel()

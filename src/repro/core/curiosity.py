@@ -1,0 +1,237 @@
+"""Curiosity streams: turning Q ticks into nacks, with consolidation.
+
+Section 3: *"Intermediate knowledge streams serve as caches of data
+that increase scalability of recovery, by responding to nacks, and
+curiosity streams consolidate nacks from multiple SHBs."*
+
+A :class:`CuriosityStream` tracks the tick ranges its owner *wants*
+(is curious about), emits nacks for them through a caller-supplied
+send function, and retries on a timer until the knowledge arrives.
+Retry pacing is what prevents a storm of duplicate nacks: a range that
+has been nacked recently is not re-nacked until ``retry_ms`` passes.
+
+Consolidation across multiple downstream requesters (the intermediate
+broker's job) is provided by :class:`NackConsolidator`, which remembers
+which downstream links asked for which ranges so replies can be routed
+back, while forwarding each range upstream only once per retry window.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional
+
+from ..net.simtime import PeriodicHandle, Scheduler
+from ..util.intervals import IntervalSet
+
+
+class CuriosityStream:
+    """Tracks wanted tick ranges for one pubend and emits paced nacks."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        pubend: str,
+        send_nack: Callable[[IntervalSet], None],
+        poll_ms: float = 20.0,
+        retry_ms: float = 1000.0,
+    ) -> None:
+        self.scheduler = scheduler
+        self.pubend = pubend
+        self._send_nack = send_nack
+        self.poll_ms = poll_ms
+        self.retry_ms = retry_ms
+        self._wanted = IntervalSet()
+        # Recently-nacked ranges, kept in two generations rotated every
+        # ``retry_ms``: a range is suppressed for between one and two
+        # retry periods after its nack.  Two normalized sets make the
+        # re-nack check two set differences regardless of how many
+        # nacks were sent — this is on the critical path of mass
+        # catchup with hundreds of concurrent streams.
+        self._gen_cur = IntervalSet()
+        self._gen_prev = IntervalSet()
+        self._rotated_at = scheduler.now
+        self._dirty = True  # something changed since the last poll
+        self._timer: Optional[PeriodicHandle] = None
+        self.nacks_sent = 0
+        self.ticks_nacked = 0
+
+    # ------------------------------------------------------------------
+    # Interest management
+    # ------------------------------------------------------------------
+    def want(self, start: int, end: int) -> None:
+        """Declare curiosity about every tick in ``[start, end]``."""
+        self._wanted.add(start, end)
+        self._dirty = True
+        self._ensure_timer()
+
+    def want_set(self, ranges: IntervalSet) -> None:
+        self._wanted.update(ranges)
+        self._dirty = True
+        if self._wanted:
+            self._ensure_timer()
+
+    def set_want(self, ranges: IntervalSet) -> None:
+        """Replace the wanted set wholesale.
+
+        Convenient for owners that recompute their Q gaps from scratch
+        (the SHB's head-knowledge gap check): ranges that became known
+        since the last call drop out automatically.
+        """
+        self._wanted = ranges.copy()
+        self._dirty = True
+        if self._wanted:
+            self._ensure_timer()
+
+    def resolve(self, start: int, end: int) -> None:
+        """Knowledge for ``[start, end]`` arrived; stop asking for it."""
+        self._wanted.remove(start, end)
+        self._dirty = True
+
+    def resolve_below(self, t: int) -> None:
+        """Everything below ``t`` is resolved (cursor advanced past it)."""
+        self._wanted.chop_below(t)
+        self._dirty = True
+
+    @property
+    def outstanding(self) -> IntervalSet:
+        """Ranges still wanted (snapshot)."""
+        return self._wanted.copy()
+
+    @property
+    def outstanding_ticks(self) -> int:
+        return self._wanted.tick_count()
+
+    # ------------------------------------------------------------------
+    # Nack pacing
+    # ------------------------------------------------------------------
+    def _ensure_timer(self) -> None:
+        if self._timer is None:
+            self._timer = self.scheduler.every(self.poll_ms, self._poll, first_delay=0.0)
+
+    def _poll(self) -> None:
+        now = self.scheduler.now
+        if now - self._rotated_at >= self.retry_ms:
+            self._gen_prev = self._gen_cur
+            self._gen_cur = IntervalSet()
+            self._rotated_at = now
+            self._dirty = True
+        if not self._wanted:
+            if not self._gen_cur and not self._gen_prev and self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+            return
+        if not self._dirty:
+            return
+        self._dirty = False
+        due = self._wanted.difference(self._gen_cur)
+        due.difference_update(self._gen_prev)
+        if due:
+            self.nacks_sent += 1
+            self.ticks_nacked += due.tick_count()
+            self._gen_cur.update(due)
+            self._send_nack(due)
+
+    def close(self) -> None:
+        """Stop the nack timer (stream discarded on catchup switchover)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self._wanted.clear()
+        self._gen_cur.clear()
+        self._gen_prev.clear()
+
+
+class NackConsolidator:
+    """Consolidates nacks from multiple downstream requesters.
+
+    Used by intermediate brokers and by the SHB itself (whose istream,
+    constream-recovery and many catchup streams all generate curiosity
+    for the same upstream link).  ``register`` records who asked for
+    what; ``to_forward`` computes the portion not already forwarded
+    within the retry window; ``route`` answers which requesters care
+    about an arriving knowledge range.
+    """
+
+    def __init__(
+        self, scheduler: Scheduler, retry_ms: float = 1000.0, suppress: bool = True
+    ) -> None:
+        self.scheduler = scheduler
+        self.retry_ms = retry_ms
+        #: When False, consolidation is disabled: every nack forwards
+        #: upstream (the ablation baseline for the Figure 8 claim).
+        self.suppress = suppress
+        self._interest: Dict[Hashable, IntervalSet] = {}
+        # Two-generation suppression of duplicate upstream forwards
+        # (same scheme as CuriosityStream; see there).
+        self._fwd_cur = IntervalSet()
+        self._fwd_prev = IntervalSet()
+        self._rotated_at = scheduler.now
+        self.consolidated_ticks = 0
+        self.forwarded_ticks = 0
+
+    def register(self, requester: Hashable, ranges: IntervalSet) -> None:
+        """Record that ``requester`` wants ``ranges``."""
+        self._interest.setdefault(requester, IntervalSet()).update(ranges)
+
+    def to_forward(self, ranges: IntervalSet) -> IntervalSet:
+        """The sub-ranges that must be forwarded upstream now.
+
+        Ranges already forwarded within the retry window are suppressed
+        (this is the nack consolidation the paper credits for the low
+        PHB overhead during mass catchup, Figure 8).
+        """
+        if not self.suppress:
+            self.forwarded_ticks += ranges.tick_count()
+            return ranges.copy()
+        now = self.scheduler.now
+        if now - self._rotated_at >= self.retry_ms:
+            self._fwd_prev = self._fwd_cur
+            self._fwd_cur = IntervalSet()
+            self._rotated_at = now
+        asked = ranges.tick_count()
+        due = ranges.difference(self._fwd_cur)
+        due.difference_update(self._fwd_prev)
+        if due:
+            self._fwd_cur.update(due)
+            self.forwarded_ticks += due.tick_count()
+        self.consolidated_ticks += asked - due.tick_count()
+        return due
+
+    def interest_of(self, requester: Hashable) -> Optional[IntervalSet]:
+        """The ranges ``requester`` is still waiting for (live view)."""
+        return self._interest.get(requester)
+
+    def route(self, start: int, end: int) -> List[Hashable]:
+        """Requesters whose registered interest intersects ``[start, end]``."""
+        span = IntervalSet.span(start, end)
+        out = []
+        for requester, interest in self._interest.items():
+            if interest.intersection(span):
+                out.append(requester)
+        return out
+
+    def satisfy(self, start: int, end: int) -> None:
+        """Knowledge for ``[start, end]`` was delivered to requesters."""
+        self.satisfy_set(IntervalSet.span(start, end))
+
+    def satisfy_set(self, ranges: IntervalSet) -> None:
+        """Batch form of :meth:`satisfy` — one pass per requester."""
+        empty = []
+        for requester, interest in self._interest.items():
+            interest.difference_update(ranges)
+            if not interest:
+                empty.append(requester)
+        for requester in empty:
+            del self._interest[requester]
+        # The answered ranges are no longer in flight: a *later* nack
+        # for them (a slower requester that registered after the reply
+        # passed) must be forwarded, not suppressed.
+        self._fwd_cur.difference_update(ranges)
+        self._fwd_prev.difference_update(ranges)
+
+    def drop_requester(self, requester: Hashable) -> None:
+        self._interest.pop(requester, None)
+
+    @property
+    def pending_requesters(self) -> int:
+        return len(self._interest)

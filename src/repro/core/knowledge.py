@@ -1,0 +1,98 @@
+"""Knowledge streams: a TickMap plus an in-order consumption cursor.
+
+Every consumer of tick knowledge — the SHB's istream, the consolidated
+stream and each catchup stream — follows the same discipline: knowledge
+accumulates out of order, but *consumption* is strictly in timestamp
+order up to the doubt horizon.  :class:`KnowledgeStream` packages that
+pattern: :meth:`accumulate` folds in a :class:`KnowledgeUpdate`,
+:meth:`advance` returns the newly-resolved runs in order and moves the
+cursor, and consumed storage is forgotten to keep memory bounded.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..util.intervals import IntervalSet
+from .events import Event
+from .messages import KnowledgeUpdate
+from .tickmap import Run, TickMap
+from .ticks import Tick
+
+
+class KnowledgeStream:
+    """One pubend's knowledge with an in-order consumption cursor.
+
+    ``consumed`` is the timestamp of the last tick handed to the
+    consumer; it equals the stream's doubt horizon after every
+    :meth:`advance`.
+    """
+
+    def __init__(self, pubend: str, consumed: int = 0) -> None:
+        self.pubend = pubend
+        self.tickmap = TickMap()
+        self.consumed = consumed
+
+    # ------------------------------------------------------------------
+    # Accumulation
+    # ------------------------------------------------------------------
+    def accumulate(self, update: KnowledgeUpdate) -> None:
+        """Fold a knowledge update into the map (idempotent, monotone)."""
+        if update.pubend != self.pubend:
+            raise ValueError(f"update for {update.pubend} on stream {self.pubend}")
+        for start, end in update.l_ranges:
+            # L is globally a prefix of time (the release protocol only
+            # converts prefixes), so an L range extends the prefix.
+            self.tickmap.set_lost_below(end + 1)
+        for start, end in update.s_ranges:
+            self.tickmap.set_s(start, end)
+        for event in update.d_events:
+            self.tickmap.set_d(event.timestamp, event)
+
+    def accumulate_event(self, event: Event) -> None:
+        self.tickmap.set_d(event.timestamp, event)
+
+    def accumulate_silence(self, start: int, end: int) -> None:
+        self.tickmap.set_s(start, end)
+
+    # ------------------------------------------------------------------
+    # Consumption
+    # ------------------------------------------------------------------
+    @property
+    def doubt_horizon(self) -> int:
+        """Highest tick with everything in ``(consumed, tick]`` known."""
+        return self.tickmap.doubt_horizon(self.consumed)
+
+    @property
+    def frontier(self) -> int:
+        """The largest tick the stream knows anything about."""
+        return max(self.tickmap.max_known(), self.consumed)
+
+    def unknown_up_to(self, end: int) -> IntervalSet:
+        """Q ranges between the cursor and ``end`` — nack candidates."""
+        return self.tickmap.unknown_within(self.consumed + 1, end)
+
+    def advance(self, limit: Optional[int] = None) -> List[Run]:
+        """Consume every newly-resolved run, in order, up to ``limit``.
+
+        Returns the consumed runs (D runs carry their events; S and L
+        runs are coalesced).  The cursor moves to the end of the last
+        returned run; consumed storage is forgotten.
+        """
+        horizon = self.doubt_horizon
+        if limit is not None:
+            horizon = min(horizon, limit)
+        if horizon <= self.consumed:
+            return []
+        runs = [r for r in self.tickmap.runs_between(self.consumed + 1, horizon)
+                if r.kind is not Tick.Q]
+        self.consumed = horizon
+        self.tickmap.forget_below(horizon + 1)
+        return runs
+
+    def peek_runs(self, end: int) -> Iterator[Run]:
+        """Inspect runs from the cursor to ``end`` without consuming."""
+        return self.tickmap.runs_between(self.consumed + 1, end)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<KnowledgeStream {self.pubend} consumed={self.consumed} dh={self.doubt_horizon}>"

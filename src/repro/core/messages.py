@@ -1,0 +1,333 @@
+"""Protocol messages.
+
+Two families:
+
+**Inside the overlay** (broker↔broker, and pubend→SHB):
+:class:`KnowledgeUpdate` carries tick knowledge downstream (data,
+silence and lost ranges for one pubend); :class:`Nack` carries
+curiosity upstream; :class:`ReleaseUpdate` aggregates release state
+upstream; :class:`SubscriptionAdd`/:class:`SubscriptionRemove`
+propagate filters upstream so intermediate brokers can filter.
+
+**Last hop** (SHB→subscriber): Section 2's three message kinds.  Each
+carries a pubend and a timestamp ``t``; with ``t0`` the timestamp of
+the preceding message from that pubend:
+
+* :class:`EventMessage` — an event at ``t``; no matching events in
+  ``(t0, t)``.
+* :class:`SilenceMessage` — no matching events in ``(t0, t]``.
+* :class:`GapMessage` — events may have existed in ``(t0, t]`` but the
+  information was discarded by early release.
+
+Plus the client↔SHB control plane (connect/ack/publish).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..matching.predicates import Predicate
+from .events import Event
+
+#: Estimated control-message framing bytes, used for CPU/disk cost models.
+CONTROL_HEADER_BYTES = 48
+
+
+# ---------------------------------------------------------------------------
+# Overlay messages
+# ---------------------------------------------------------------------------
+@dataclass
+class KnowledgeUpdate:
+    """New tick knowledge for one pubend, flowing downstream.
+
+    ``d_events`` are D ticks (each event carries its own timestamp);
+    ``s_ranges`` and ``l_ranges`` are closed ``[start, end]`` tick
+    ranges.  Ranges never overlap each other or the D ticks.
+    """
+
+    pubend: str
+    d_events: List[Event] = field(default_factory=list)
+    s_ranges: List[Tuple[int, int]] = field(default_factory=list)
+    l_ranges: List[Tuple[int, int]] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        return not (self.d_events or self.s_ranges or self.l_ranges)
+
+    def max_tick(self) -> Optional[int]:
+        """The largest tick this update says anything about."""
+        candidates: List[int] = [e.timestamp for e in self.d_events]
+        candidates += [end for _s, end in self.s_ranges]
+        candidates += [end for _s, end in self.l_ranges]
+        return max(candidates) if candidates else None
+
+    @property
+    def size_bytes(self) -> int:
+        return (
+            CONTROL_HEADER_BYTES
+            + sum(e.size_bytes for e in self.d_events)
+            + 16 * (len(self.s_ranges) + len(self.l_ranges))
+        )
+
+
+@dataclass
+class Nack:
+    """A request for knowledge about Q tick ranges of one pubend.
+
+    ``refilter_below``: ticks below this value must not be answered
+    from *filtered* caches (intermediate/SHB knowledge caches).  Those
+    caches record the stream as filtered by a subscription union that
+    did not yet include the requesting (reconnect-anywhere) subscriber,
+    so their S ticks may hide events the requester needs.  Only the
+    pubend — which filters by the *current* union — may answer them.
+    """
+
+    pubend: str
+    ranges: List[Tuple[int, int]]
+    refilter_below: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES + 16 * len(self.ranges)
+
+
+@dataclass
+class ReleaseUpdate:
+    """Release-protocol state flowing upstream (Section 3).
+
+    ``released`` is the minimum released timestamp across the sender's
+    subtree; ``latest_delivered`` the minimum latestDelivered(p).  The
+    pubend's aggregated values are ``Tr(p)`` and ``Td(p)``.
+    """
+
+    pubend: str
+    released: int
+    latest_delivered: int
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES + 16
+
+
+@dataclass
+class SubscriptionAdd:
+    """Propagates a subscription's filter upstream for routing/filtering."""
+
+    sub_id: str
+    predicate: Predicate
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES + 64
+
+
+@dataclass
+class SubscriptionRemove:
+    """Withdraws a previously propagated subscription filter."""
+
+    sub_id: str
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES
+
+
+@dataclass
+class SubscriptionSync:
+    """Marks a complete subscription refresh from the sender's subtree.
+
+    Subscription unions at upstream brokers are volatile soft state: a
+    recovered broker treats each child's union as *cold* and passes
+    events unfiltered (correct, just less efficient) until the child's
+    next refresh completes — which this message signals.  SHBs emit it
+    after periodically re-sending all their SubscriptionAdds;
+    intermediate brokers forward it once every one of their own
+    children is warm.
+    """
+
+    sub_count: int
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES
+
+
+def clip_update(update: KnowledgeUpdate, lo: int, hi: int) -> KnowledgeUpdate:
+    """The portion of a knowledge update within ``[lo, hi]``."""
+    out = KnowledgeUpdate(update.pubend)
+    if lo > hi:
+        return out
+    out.d_events = [e for e in update.d_events if lo <= e.timestamp <= hi]
+    for start, end in update.s_ranges:
+        s, e = max(start, lo), min(end, hi)
+        if s <= e:
+            out.s_ranges.append((s, e))
+    for start, end in update.l_ranges:
+        s, e = max(start, lo), min(end, hi)
+        if s <= e:
+            out.l_ranges.append((s, e))
+    return out
+
+
+def clip_update_to_set(update: KnowledgeUpdate, interest) -> KnowledgeUpdate:
+    """The portion of a knowledge update covered by an interval set.
+
+    Used to route nack replies to exactly the ticks a requester asked
+    for.  One membership / intersection query per item — never per
+    interval of the interest set, which can be large during mass
+    catchup.
+    """
+    out = KnowledgeUpdate(update.pubend)
+    out.d_events = [e for e in update.d_events if e.timestamp in interest]
+    for start, end in update.s_ranges:
+        for iv in interest.intersect_span(start, end):
+            out.s_ranges.append((iv.start, iv.end))
+    for start, end in update.l_ranges:
+        for iv in interest.intersect_span(start, end):
+            out.l_ranges.append((iv.start, iv.end))
+    return out
+
+
+def split_update(update: KnowledgeUpdate, cutoff: int) -> Tuple[KnowledgeUpdate, KnowledgeUpdate]:
+    """Split into (ticks <= cutoff, ticks > cutoff).
+
+    Used by brokers to separate *old* knowledge (nack replies destined
+    for catchup streams) from *new* head knowledge (istream/constream).
+    """
+    hi = update.max_tick()
+    if hi is None:
+        return KnowledgeUpdate(update.pubend), KnowledgeUpdate(update.pubend)
+    old = clip_update(update, 0, cutoff)
+    new = clip_update(update, cutoff + 1, hi)
+    return old, new
+
+
+# ---------------------------------------------------------------------------
+# Last-hop messages (SHB -> subscriber)
+# ---------------------------------------------------------------------------
+@dataclass
+class EventMessage:
+    """An event that matches the subscription; see module docstring."""
+
+    pubend: str
+    t: int
+    event: Event
+
+    @property
+    def size_bytes(self) -> int:
+        return self.event.size_bytes
+
+
+@dataclass
+class SilenceMessage:
+    """No matching events in ``(t0, t]``; advances the subscriber's CT."""
+
+    pubend: str
+    t: int
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES
+
+
+@dataclass
+class GapMessage:
+    """Information about ``(t0, t]`` was discarded by early release."""
+
+    pubend: str
+    t: int
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES
+
+
+# ---------------------------------------------------------------------------
+# Client <-> SHB control plane
+# ---------------------------------------------------------------------------
+@dataclass
+class ConnectRequest:
+    """A durable subscriber (re)connects.
+
+    ``checkpoint`` is None on first-ever connect (the SHB assigns a
+    starting CT at latestDelivered, Section 4.1); on reconnect it is
+    the subscriber's current CT.  ``predicate`` is required on first
+    connect and ignored afterwards (durable subscriptions keep their
+    filter).
+    """
+
+    sub_id: str
+    checkpoint: Optional[Dict[str, int]] = None
+    predicate: Optional[Predicate] = None
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES + 16 * len(self.checkpoint or {})
+
+
+@dataclass
+class ConnectAccept:
+    """The SHB's reply: the CT delivery will resume from."""
+
+    sub_id: str
+    checkpoint: Dict[str, int]
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES + 16 * len(self.checkpoint)
+
+
+@dataclass
+class AckCheckpoint:
+    """Periodic acknowledgment of everything up to the carried CT."""
+
+    sub_id: str
+    checkpoint: Dict[str, int]
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES + 16 * len(self.checkpoint)
+
+
+@dataclass
+class DisconnectRequest:
+    """A graceful disconnect (involuntary ones just drop the link)."""
+
+    sub_id: str
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES
+
+
+@dataclass
+class PublishRequest:
+    """A publisher client hands an event body to its PHB.
+
+    ``seq`` (with ``publisher``) enables exactly-once publishing: the
+    PHB deduplicates retransmissions and acknowledges each sequence
+    number once the event is durably logged.
+    """
+
+    attributes: Dict[str, object]
+    payload_bytes: int
+    publisher: Optional[str] = None
+    seq: Optional[int] = None
+    pubend: Optional[str] = None
+    ttl_ms: Optional[int] = None
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES + self.payload_bytes
+
+
+@dataclass
+class PublishAck:
+    """PHB acknowledgment: everything up to ``seq`` is durably logged."""
+
+    publisher: str
+    seq: int
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES

@@ -1,0 +1,124 @@
+"""The event retention and release protocol (Section 3).
+
+Terminology (all per pubend ``p``):
+
+* ``T(p)`` — the current time at the pubend.
+* ``Td(p)`` — minimum ``latestDelivered(p)`` across all SHBs.
+* ``Tr(p)`` — minimum released timestamp across all SHBs.
+* Invariant: ``Tr(p) <= Td(p)``.
+
+At every node of the knowledge graph a :class:`ReleaseAggregator`
+maintains the two minima over its downstream children; the pubend's
+aggregated values are the ``Tr``/``Td`` fed to its early-release
+policy.
+
+A policy decides the highest tick that may be converted to L:
+
+* always allowed for ``t <= Tr(p)`` (everyone acknowledged it),
+* an *early-release* policy may additionally release ticks in
+  ``(Tr(p), Td(p)]`` — never beyond ``Td(p)``, so connected non-catchup
+  subscribers (the "well-behaved" ones) never see a gap.
+
+:class:`MaxRetainPolicy` is the paper's example ("PHB Controlled
+Policy"): release ``t`` once ``t <= Td(p)`` and ``T(p) - t >
+maxRetain(p)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+from ..util.errors import ProtocolError
+
+
+class EarlyReleasePolicy:
+    """Decides how far the pubend may convert ticks to L."""
+
+    def release_bound(self, now: int, t_r: int, t_d: int) -> int:
+        """Highest tick that may become L given current state.
+
+        Must never return more than ``t_d`` beyond ``t_r`` semantics:
+        concretely the result must satisfy ``result >= t_r`` implies
+        ``result <= max(t_r, t_d)``.
+        """
+        raise NotImplementedError
+
+
+class NoEarlyRelease(EarlyReleasePolicy):
+    """Release only fully-acknowledged ticks (the experiments' default).
+
+    The paper disabled early release in Section 5 "since we wanted to
+    observe system behavior when no gap messages are delivered".
+    """
+
+    def release_bound(self, now: int, t_r: int, t_d: int) -> int:
+        return t_r
+
+
+class MaxRetainPolicy(EarlyReleasePolicy):
+    """The PHB-controlled policy of Section 3.
+
+    ``t`` may become L when::
+
+        t <= Tr(p)  or  (t <= Td(p) and T(p) - t > maxRetain(p))
+
+    A subscriber in catchup mode risks a gap if its CT falls behind
+    ``T(p)`` by more than ``maxRetain(p)``.
+    """
+
+    def __init__(self, max_retain_ms: int) -> None:
+        if max_retain_ms <= 0:
+            raise ValueError("max_retain_ms must be positive")
+        self.max_retain_ms = max_retain_ms
+
+    def release_bound(self, now: int, t_r: int, t_d: int) -> int:
+        aged_bound = min(t_d, now - self.max_retain_ms - 1)
+        return max(t_r, aged_bound)
+
+
+class ReleaseAggregator:
+    """Min-combines release state reported by downstream children.
+
+    Children are registered explicitly (one per downstream link hosting
+    subscribers for this pubend); the aggregate is only meaningful once
+    every registered child has reported, and :meth:`aggregate` returns
+    None until then — releasing on partial information could discard
+    ticks an unreported SHB still needs.
+    """
+
+    def __init__(self, pubend: str) -> None:
+        self.pubend = pubend
+        self._children: Dict[Hashable, Optional[Tuple[int, int]]] = {}
+
+    def register_child(self, child: Hashable) -> None:
+        """Declare a downstream child that will report release state."""
+        self._children.setdefault(child, None)
+
+    def unregister_child(self, child: Hashable) -> None:
+        self._children.pop(child, None)
+
+    def update(self, child: Hashable, released: int, latest_delivered: int) -> None:
+        """Fold in a child's :class:`~repro.core.messages.ReleaseUpdate`."""
+        if released > latest_delivered:
+            raise ProtocolError(
+                f"release update violates Tr <= Td: {released} > {latest_delivered}"
+            )
+        previous = self._children.get(child)
+        if previous is not None:
+            # Reports are cumulative; a child may resend the same values
+            # but must never regress (its own minima are monotone).
+            released = max(released, previous[0])
+            latest_delivered = max(latest_delivered, previous[1])
+        self._children[child] = (released, latest_delivered)
+
+    def aggregate(self) -> Optional[Tuple[int, int]]:
+        """``(min released, min latestDelivered)`` over all children."""
+        if not self._children or any(v is None for v in self._children.values()):
+            return None
+        released = min(v[0] for v in self._children.values())  # type: ignore[index]
+        latest = min(v[1] for v in self._children.values())  # type: ignore[index]
+        return released, latest
+
+    @property
+    def child_count(self) -> int:
+        return len(self._children)

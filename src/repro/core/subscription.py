@@ -1,0 +1,149 @@
+"""Durable subscription records and the SHB's persistent registry.
+
+A durable subscription survives disconnection: the SHB must remember —
+across its own crashes — which subscriptions it hosts, their filters,
+their numeric ids (used in PFS records) and their per-pubend released
+(acknowledged) timestamps.  Section 4.1 keeps ``released(s, p)`` in
+database tables; :class:`SubscriptionRegistry` stores everything in
+:class:`~repro.storage.table.PersistentTable` rows with the same crash
+semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from ..matching.predicates import Predicate
+from ..storage.table import PersistentTable
+from ..util.errors import SubscriptionError
+
+
+@dataclass
+class DurableSubscription:
+    """An SHB's record of one durable subscription."""
+
+    sub_id: str
+    num: int                      # compact id used inside PFS records
+    predicate: Predicate
+    #: released(s, p): highest acknowledged timestamp per pubend.
+    released: Dict[str, int] = field(default_factory=dict)
+    connected: bool = False
+
+    def released_for(self, pubend: str) -> int:
+        return self.released.get(pubend, 0)
+
+
+class SubscriptionRegistry:
+    """All durable subscriptions hosted by one SHB, crash-persistent.
+
+    Rows live in two tables sharing the SHB's table disk:
+
+    * ``subs``   — ``sub_id -> (num, predicate, initial CT)``,
+    * ``released`` — ``"{sub_id}/{pubend}" -> released(s, p)``.
+
+    Acks are written dirty and committed in batches by the SHB (the
+    experiments commit every 250 ms); a crash rolls back to the last
+    commit, which only ever *under*-reports acknowledgments — safe,
+    because redelivery below a subscriber's true CT is filtered by the
+    subscriber's own token.
+    """
+
+    def __init__(self, subs_table: PersistentTable, released_table: PersistentTable) -> None:
+        self._subs_table = subs_table
+        self._released_table = released_table
+        self._subs: Dict[str, DurableSubscription] = {}
+        self._by_num: Dict[int, DurableSubscription] = {}
+        self._next_num = 0
+        self._load()
+
+    def _load(self) -> None:
+        """Rebuild in-memory state from committed rows (recovery path)."""
+        for sub_id, row in self._subs_table.committed_items():
+            num, predicate = row
+            sub = DurableSubscription(sub_id, num, predicate)
+            self._subs[sub_id] = sub
+            self._by_num[num] = sub
+            self._next_num = max(self._next_num, num + 1)
+        for key, value in self._released_table.committed_items():
+            sub_id, pubend = key.rsplit("/", 1)
+            sub = self._subs.get(sub_id)
+            if sub is not None:
+                sub.released[pubend] = value
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def create(self, sub_id: str, predicate: Predicate) -> DurableSubscription:
+        """Register a brand-new durable subscription."""
+        if sub_id in self._subs:
+            raise SubscriptionError(f"subscription {sub_id} already exists")
+        sub = DurableSubscription(sub_id, self._next_num, predicate)
+        self._next_num += 1
+        self._subs[sub_id] = sub
+        self._by_num[sub.num] = sub
+        self._subs_table.put(sub_id, (sub.num, predicate))
+        return sub
+
+    def drop(self, sub_id: str) -> None:
+        """Destroy a durable subscription (unsubscribe)."""
+        sub = self._subs.pop(sub_id, None)
+        if sub is None:
+            return
+        self._by_num.pop(sub.num, None)
+        self._subs_table.delete(sub_id)
+        for pubend in list(sub.released):
+            self._released_table.delete(f"{sub_id}/{pubend}")
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, sub_id: str) -> Optional[DurableSubscription]:
+        return self._subs.get(sub_id)
+
+    def by_num(self, num: int) -> Optional[DurableSubscription]:
+        return self._by_num.get(num)
+
+    def all(self) -> Iterator[DurableSubscription]:
+        return iter(self._subs.values())
+
+    def __len__(self) -> int:
+        return len(self._subs)
+
+    def __contains__(self, sub_id: str) -> bool:
+        return sub_id in self._subs
+
+    # ------------------------------------------------------------------
+    # Acknowledgments
+    # ------------------------------------------------------------------
+    def ack(self, sub_id: str, pubend: str, timestamp: int) -> None:
+        """Record released(s, p) = timestamp (monotone; stale acks ignored)."""
+        sub = self._subs.get(sub_id)
+        if sub is None:
+            raise SubscriptionError(f"unknown subscription {sub_id}")
+        if timestamp <= sub.released.get(pubend, -1):
+            return
+        sub.released[pubend] = timestamp
+        self._released_table.put(f"{sub_id}/{pubend}", timestamp)
+
+    def min_released(self, pubend: str) -> Optional[int]:
+        """``min over all hosted subscriptions of released(s, p)``.
+
+        Includes disconnected subscriptions — that is the whole point
+        of the release protocol.  None when the SHB hosts none.
+        """
+        values = [sub.released_for(pubend) for sub in self._subs.values()]
+        return min(values) if values else None
+
+    def commit(self, on_durable=None) -> None:
+        """Batch-commit registry and ack tables."""
+        self._subs_table.commit()
+        self._released_table.commit(on_durable)
+
+    def crash_reset(self) -> None:
+        self._subs_table.crash_reset()
+        self._released_table.crash_reset()
+        self._subs.clear()
+        self._by_num.clear()
+        self._next_num = 0
+        self._load()

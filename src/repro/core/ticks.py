@@ -1,0 +1,39 @@
+"""Tick kinds of the knowledge stream.
+
+Section 3: *"The knowledge stream ... contains four kinds of ticks:
+Q (unknown), S (silence), D (data), and L (lost)."*
+
+* **Q** — nothing is known about this timestamp yet.  Q is the default;
+  a knowledge stream never transmits Q explicitly.
+* **S** — there was no event at this timestamp, *or* there was one but
+  it was filtered upstream and is irrelevant to this stream.
+* **D** — an event, carried alongside the tick.
+* **L** — the pubend has discarded the information (early release); a
+  subscriber that still needed this tick receives a *gap message*.
+
+Knowledge accumulation is monotone: Q can become S, D or L; S and D
+are terminal for a given stream (with D dominating S when an upstream
+refinement reveals an event a coarser filter had hidden); L only ever
+appears as a prefix of time, because the release protocol converts a
+growing prefix of the pubend's stream to L.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Tick(enum.Enum):
+    """The four knowledge-stream tick kinds."""
+
+    Q = "Q"  # unknown
+    S = "S"  # silence / filtered
+    D = "D"  # data (an event)
+    L = "L"  # lost (released by the pubend)
+
+    def is_known(self) -> bool:
+        """True for every kind except Q."""
+        return self is not Tick.Q
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tick.{self.name}"

@@ -1,0 +1,165 @@
+"""SHB-side transactional checkpoint storage for JMS subscribers.
+
+Section 5.2: *"the SHB needs to maintain CT(s) in persistent storage
+(DB2).  Whenever the JMS durable subscriber commits after consuming
+some events, the corresponding changes to the CT(s) vector at the SHB
+are committed to the database ... the SHB used 4 JDBC connections each
+associated with a thread.  Requests to update CT(s) were assigned to
+one of the threads based on the subscriber id.  Each thread explicitly
+batched all the waiting requests into one database transaction.  To
+improve performance, the hardware write-cache in the SSA disk
+controller was utilized."*
+
+Reproduced mechanics:
+
+* ``n_connections`` independent commit pipelines; requests hash to a
+  pipeline by subscriber id,
+* every pipeline batches all waiting requests into one transaction —
+  multiple updates for the same subscriber coalesce (only the newest
+  CT matters), which is why the 25→200 subscriber scaling is
+  sub-linear in the paper,
+* transaction wall-clock cost is ``base + per_update × batch`` — the
+  commit itself does not consume the broker CPU (it is DB/disk time on
+  a write-cached controller), only a small CPU term per update,
+* when the transaction completes, the registry's ``released(s, p)``
+  acks are applied (the committed CT *is* the acknowledgment for the
+  release protocol) and the waiting clients are notified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..broker.shb import SubscriberHostingBroker
+from ..net.link import LinkEnd
+from ..storage.table import PersistentTable
+from .messages import JMSCommitDone, JMSCommitRequest, JMSCTLookup, JMSCTLookupReply
+
+
+@dataclass(frozen=True)
+class CommitCosts:
+    """Per-transaction wall-clock cost model (milliseconds).
+
+    Calibrated so that one SHB peaks near the paper's 4K events/s with
+    25 auto-ack subscribers and 7.6K with 200 (see DESIGN.md).
+    """
+
+    base_ms: float = 0.55
+    per_update_ms: float = 0.35
+    cpu_per_update_ms: float = 0.01
+    #: How long a connection waits after its first pending request
+    #: before opening the transaction, so one commit round's worth of
+    #: auto-ack replies lands in the same batch ("explicitly batched
+    #: all the waiting requests").
+    batch_delay_ms: float = 1.2
+
+
+class CheckpointCommitService:
+    """The 4-connection batched CT commit engine at one SHB."""
+
+    def __init__(
+        self,
+        shb: SubscriberHostingBroker,
+        n_connections: int = 4,
+        costs: Optional[CommitCosts] = None,
+    ) -> None:
+        if n_connections < 1:
+            raise ValueError("need at least one connection")
+        self.shb = shb
+        self.scheduler = shb.scheduler
+        self.n_connections = n_connections
+        self.costs = costs if costs is not None else CommitCosts()
+        self.table = PersistentTable(f"{shb.name}.jms_ct", disk=None)
+        # pending[i]: sub_id -> (latest ct, reply targets)
+        self._pending: List[Dict[str, Tuple[Dict[str, int], List[Tuple[LinkEnd, int]]]]] = [
+            {} for _ in range(n_connections)
+        ]
+        self._busy = [False] * n_connections
+        self.commits = 0
+        self.updates_committed = 0
+        self.updates_coalesced = 0
+        shb.register_client_extension(JMSCommitRequest, self._on_commit_request)
+        shb.register_client_extension(JMSCTLookup, self._on_lookup)
+        shb.node.on_crash(self._on_crash)
+
+    # ------------------------------------------------------------------
+    # Request intake
+    # ------------------------------------------------------------------
+    def _connection_for(self, sub_id: str) -> int:
+        return sum(ord(c) for c in sub_id) % self.n_connections
+
+    def _on_commit_request(self, send_end: LinkEnd, msg: JMSCommitRequest) -> None:
+        conn = self._connection_for(msg.sub_id)
+        slot = self._pending[conn]
+        entry = slot.get(msg.sub_id)
+        if entry is None:
+            slot[msg.sub_id] = (dict(msg.checkpoint), [(send_end, msg.request_id)])
+        else:
+            # Coalesce: keep only the newest CT, notify everyone waiting.
+            self.updates_coalesced += 1
+            entry[0].update(msg.checkpoint)
+            entry[1].append((send_end, msg.request_id))
+        if not self._busy[conn]:
+            # Wait batch_delay_ms before opening the transaction so the
+            # rest of this commit round joins the batch.
+            self._busy[conn] = True
+            self.scheduler.after(self.costs.batch_delay_ms, self._open_cycle, conn)
+
+    def _open_cycle(self, conn: int) -> None:
+        self._busy[conn] = False
+        self._start_cycle(conn)
+
+    def _on_lookup(self, send_end: LinkEnd, msg: JMSCTLookup) -> None:
+        ct = self.table.get_committed(msg.sub_id, {})
+        send_end.send(JMSCTLookupReply(msg.sub_id, dict(ct), msg.request_id))
+
+    # ------------------------------------------------------------------
+    # Commit pipeline
+    # ------------------------------------------------------------------
+    def _start_cycle(self, conn: int) -> None:
+        batch = self._pending[conn]
+        if not batch:
+            return
+        self._pending[conn] = {}
+        self._busy[conn] = True
+        n = len(batch)
+        # CPU: marshalling/JDBC work on the broker's processor.
+        self.shb.node.try_submit(self.costs.cpu_per_update_ms * n, lambda: None)
+        # Wall clock: the transaction against the (write-cached) DB.
+        duration = self.costs.base_ms + self.costs.per_update_ms * n
+        self.scheduler.after(duration, self._complete_cycle, conn, batch)
+
+    def _complete_cycle(
+        self,
+        conn: int,
+        batch: Dict[str, Tuple[Dict[str, int], List[Tuple[LinkEnd, int]]]],
+    ) -> None:
+        if self.shb.node.is_down:
+            return  # the SHB crashed mid-transaction: nothing committed
+        for sub_id, (ct, _waiters) in batch.items():
+            stored = dict(self.table.get(sub_id, {}))
+            stored.update(ct)
+            self.table.put(sub_id, stored)
+            # The committed CT is the acknowledgment for release.
+            if sub_id in self.shb.registry:
+                for pubend, t in ct.items():
+                    if pubend in self.shb.constreams:
+                        self.shb.registry.ack(sub_id, pubend, t)
+        self.table.commit()
+        self.commits += 1
+        self.updates_committed += len(batch)
+        for sub_id, (_ct, waiters) in batch.items():
+            for send_end, request_id in waiters:
+                send_end.send(JMSCommitDone(sub_id, request_id))
+        self._busy[conn] = False
+        if self._pending[conn]:
+            self._start_cycle(conn)
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def _on_crash(self) -> None:
+        self._pending = [{} for _ in range(self.n_connections)]
+        self._busy = [False] * self.n_connections
+        self.table.crash_reset()

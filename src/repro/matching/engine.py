@@ -1,0 +1,119 @@
+"""The matching engine: which subscriptions does this event match?
+
+Brokers evaluate many subscriptions per event: an SHB hosting hundreds
+of durable subscribers must compute, for every event in the constream,
+the full set of matching subscriber ids (that set is exactly what the
+PFS logs).  Intermediate brokers only need the yes/no question "does
+*any* downstream subscription match" to filter a knowledge stream.
+
+The engine keeps an inverted index over the common predicate form
+``attr ∈ values`` (see ``Predicate.indexable_equalities``); everything
+else lands in a linear-scan bucket.  Matching an event then touches
+only the subscriptions indexed under the event's own attribute values,
+which keeps the per-event cost near O(matches) for the selective
+workloads of the evaluation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from .predicates import Predicate
+
+
+class MatchingEngine:
+    """A mutable registry of ``subscription_id -> Predicate``."""
+
+    def __init__(self) -> None:
+        self._filters: Dict[str, Predicate] = {}
+        # attr -> value -> set of subscription ids indexed there
+        self._index: Dict[str, Dict[Any, Set[str]]] = defaultdict(lambda: defaultdict(set))
+        # (attr, value-set) remembered per sub for O(1) removal
+        self._index_keys: Dict[str, Tuple[str, FrozenSet[Any]]] = {}
+        self._scan: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def add(self, sub_id: str, predicate: Predicate) -> None:
+        """Register (or replace) a subscription's filter."""
+        if sub_id in self._filters:
+            self.remove(sub_id)
+        self._filters[sub_id] = predicate
+        key = predicate.indexable_equalities()
+        if key is None:
+            self._scan.add(sub_id)
+        else:
+            attr, values = key
+            self._index_keys[sub_id] = (attr, values)
+            for value in values:
+                self._index[attr][value].add(sub_id)
+
+    def remove(self, sub_id: str) -> None:
+        """Unregister a subscription (no-op when absent)."""
+        predicate = self._filters.pop(sub_id, None)
+        if predicate is None:
+            return
+        self._scan.discard(sub_id)
+        key = self._index_keys.pop(sub_id, None)
+        if key is not None:
+            attr, values = key
+            for value in values:
+                bucket = self._index[attr].get(value)
+                if bucket is not None:
+                    bucket.discard(sub_id)
+                    if not bucket:
+                        del self._index[attr][value]
+
+    def __contains__(self, sub_id: str) -> bool:
+        return sub_id in self._filters
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+    def subscription_ids(self) -> List[str]:
+        return list(self._filters)
+
+    def filter_of(self, sub_id: str) -> Optional[Predicate]:
+        return self._filters.get(sub_id)
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def _candidates(self, attributes: Mapping[str, Any]) -> Iterable[str]:
+        for attr, buckets in self._index.items():
+            value = attributes.get(attr)
+            if value is not None:
+                hits = buckets.get(value)
+                if hits:
+                    yield from hits
+        yield from self._scan
+
+    def match(self, attributes: Mapping[str, Any]) -> Set[str]:
+        """All subscription ids whose predicate matches ``attributes``."""
+        out: Set[str] = set()
+        for sub_id in self._candidates(attributes):
+            if sub_id not in out and self._filters[sub_id].matches(attributes):
+                out.add(sub_id)
+        return out
+
+    def matches_any(self, attributes: Mapping[str, Any]) -> bool:
+        """True if at least one registered subscription matches.
+
+        This is the question an intermediate broker asks per downstream
+        link; it short-circuits on the first hit.
+        """
+        seen: Set[str] = set()
+        for sub_id in self._candidates(attributes):
+            if sub_id in seen:
+                continue
+            seen.add(sub_id)
+            if self._filters[sub_id].matches(attributes):
+                return True
+        return False
+
+    def matches_subscription(self, sub_id: str, attributes: Mapping[str, Any]) -> bool:
+        """Evaluate one specific subscription (catchup-stream filtering)."""
+        predicate = self._filters.get(sub_id)
+        return predicate is not None and predicate.matches(attributes)

@@ -1,0 +1,257 @@
+"""The content-based subscription language.
+
+Gryphon is a *content-based* publish/subscribe system: a subscription
+is a predicate over event attributes, evaluated by brokers (including
+intermediate brokers, which use it to filter knowledge streams so that
+uninteresting events travel no further than necessary).
+
+Predicates are small immutable trees.  Composite predicates (:class:`And`,
+:class:`Or`, :class:`Not`) combine the attribute tests.  Every predicate
+answers :meth:`Predicate.matches` against an attribute mapping and
+exposes :meth:`indexable_equalities` so the matching engine can build
+an inverted index for the common ``attr == value`` / ``attr in {...}``
+shapes (the workhorse of the parallel-search-tree matcher of Aguilera
+et al., which this engine approximates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Mapping, Optional, Sequence, Tuple
+
+_MISSING = object()
+
+
+class Predicate:
+    """Base class for subscription predicates."""
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        raise NotImplementedError
+
+    def indexable_equalities(self) -> Optional[Tuple[str, FrozenSet[Any]]]:
+        """``(attr, values)`` if this predicate *requires* attr ∈ values.
+
+        Returning None means the predicate cannot be used as an index
+        key and subscriptions using it fall back to a linear scan.
+        Only top-level conjuncts are consulted, so this is sound: a
+        subscription indexed under ``(attr, values)`` can only match
+        events whose ``attr`` is one of ``values``.
+        """
+        return None
+
+    # Convenience combinators -------------------------------------------------
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And((self, other))
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or((self, other))
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Everything(Predicate):
+    """Matches every event (a wildcard subscription)."""
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Nothing(Predicate):
+    """Matches no event (useful as an identity for Or-folds)."""
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class Eq(Predicate):
+    """``attributes[attr] == value``."""
+
+    attr: str
+    value: Any
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        return attributes.get(self.attr, _MISSING) == self.value
+
+    def indexable_equalities(self) -> Optional[Tuple[str, FrozenSet[Any]]]:
+        return self.attr, frozenset((self.value,))
+
+
+@dataclass(frozen=True)
+class In(Predicate):
+    """``attributes[attr]`` is one of a fixed set of values."""
+
+    attr: str
+    values: FrozenSet[Any]
+
+    def __init__(self, attr: str, values: Sequence[Any]):
+        object.__setattr__(self, "attr", attr)
+        object.__setattr__(self, "values", frozenset(values))
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        return attributes.get(self.attr, _MISSING) in self.values
+
+    def indexable_equalities(self) -> Optional[Tuple[str, FrozenSet[Any]]]:
+        return self.attr, self.values
+
+
+@dataclass(frozen=True)
+class Ne(Predicate):
+    """``attributes[attr] != value`` (attribute must be present)."""
+
+    attr: str
+    value: Any
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        got = attributes.get(self.attr, _MISSING)
+        return got is not _MISSING and got != self.value
+
+
+@dataclass(frozen=True)
+class Cmp(Predicate):
+    """An ordered comparison: ``attributes[attr] <op> bound``."""
+
+    attr: str
+    op: str  # one of '<', '<=', '>', '>='
+    bound: Any
+
+    _OPS = {
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        got = attributes.get(self.attr, _MISSING)
+        if got is _MISSING:
+            return False
+        try:
+            return self._OPS[self.op](got, self.bound)
+        except TypeError:
+            return False
+
+
+def Lt(attr: str, bound: Any) -> Cmp:
+    return Cmp(attr, "<", bound)
+
+
+def Le(attr: str, bound: Any) -> Cmp:
+    return Cmp(attr, "<=", bound)
+
+
+def Gt(attr: str, bound: Any) -> Cmp:
+    return Cmp(attr, ">", bound)
+
+
+def Ge(attr: str, bound: Any) -> Cmp:
+    return Cmp(attr, ">=", bound)
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """``lo <= attributes[attr] <= hi``."""
+
+    attr: str
+    lo: Any
+    hi: Any
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        got = attributes.get(self.attr, _MISSING)
+        if got is _MISSING:
+            return False
+        try:
+            return self.lo <= got <= self.hi
+        except TypeError:
+            return False
+
+
+@dataclass(frozen=True)
+class Exists(Predicate):
+    """The attribute is present, whatever its value."""
+
+    attr: str
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        return self.attr in attributes
+
+
+@dataclass(frozen=True)
+class Prefix(Predicate):
+    """String attribute starts with the given prefix."""
+
+    attr: str
+    prefix: str
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        got = attributes.get(self.attr)
+        return isinstance(got, str) and got.startswith(self.prefix)
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    terms: Tuple[Predicate, ...]
+
+    def __init__(self, terms: Sequence[Predicate]):
+        object.__setattr__(self, "terms", tuple(terms))
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        return all(t.matches(attributes) for t in self.terms)
+
+    def indexable_equalities(self) -> Optional[Tuple[str, FrozenSet[Any]]]:
+        for t in self.terms:
+            key = t.indexable_equalities()
+            if key is not None:
+                return key
+        return None
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of predicates."""
+
+    terms: Tuple[Predicate, ...]
+
+    def __init__(self, terms: Sequence[Predicate]):
+        object.__setattr__(self, "terms", tuple(terms))
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        return any(t.matches(attributes) for t in self.terms)
+
+    def indexable_equalities(self) -> Optional[Tuple[str, FrozenSet[Any]]]:
+        # An Or is indexable only if every branch constrains the same
+        # attribute; the index key is then the union of the value sets.
+        attr: Optional[str] = None
+        values: set = set()
+        for t in self.terms:
+            key = t.indexable_equalities()
+            if key is None:
+                return None
+            t_attr, t_values = key
+            if attr is None:
+                attr = t_attr
+            elif attr != t_attr:
+                return None
+            values.update(t_values)
+        if attr is None:
+            return None
+        return attr, frozenset(values)
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    term: Predicate
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        return not self.term.matches(attributes)

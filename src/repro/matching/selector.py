@@ -1,0 +1,306 @@
+"""JMS message-selector parser.
+
+JMS applications express subscriptions as SQL-92-style selector strings
+(``"symbol = 'IBM' AND quantity > 1000"``).  This module compiles the
+practical core of that language into the native predicate tree, so the
+JMS layer (and anyone who prefers strings) can use it:
+
+* comparisons: ``=  <>  <  <=  >  >=`` over numbers and strings,
+* ``BETWEEN x AND y`` / ``NOT BETWEEN``,
+* ``IN ('a', 'b')`` / ``NOT IN``,
+* ``IS NULL`` / ``IS NOT NULL`` (attribute absence/presence),
+* ``LIKE 'prefix%'`` (prefix patterns compile to the indexed-friendly
+  :class:`~repro.matching.predicates.Prefix`; general patterns with
+  ``%``/``_`` fall back to a scan predicate),
+* ``AND`` / ``OR`` / ``NOT`` with conventional precedence and parens,
+* literals: integers, floats, single-quoted strings (with ``''``
+  escaping), TRUE/FALSE.
+
+The grammar (precedence low→high)::
+
+    or_expr   := and_expr (OR and_expr)*
+    and_expr  := not_expr (AND not_expr)*
+    not_expr  := NOT not_expr | primary
+    primary   := '(' or_expr ')' | comparison
+    comparison:= ident (op literal | BETWEEN lit AND lit | IN '(' ... ')'
+                 | IS [NOT] NULL | [NOT] LIKE string | ident)
+
+Usage::
+
+    from repro.matching.selector import parse_selector
+    predicate = parse_selector("group IN (1, 3) AND price >= 10.5")
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, List, Mapping, Optional
+
+from ..util.errors import ReproError
+from .predicates import (
+    And,
+    Between,
+    Cmp,
+    Eq,
+    Exists,
+    In,
+    Ne,
+    Not,
+    Or,
+    Predicate,
+    Prefix,
+)
+
+
+class SelectorSyntaxError(ReproError):
+    """The selector string could not be parsed."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<float>\d+\.\d*|\.\d+)
+  | (?P<int>\d+)
+  | (?P<str>'(?:[^']|'')*')
+  | (?P<op><>|<=|>=|=|<|>)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<ident>[A-Za-z_$][A-Za-z0-9_$.]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"AND", "OR", "NOT", "BETWEEN", "IN", "IS", "NULL", "LIKE",
+             "TRUE", "FALSE"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str     # 'kw', 'ident', 'num', 'str', 'op', '(', ')', ','
+    value: Any
+    pos: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SelectorSyntaxError(f"unexpected character {text[pos]!r} at {pos}")
+        pos = match.end()
+        kind = match.lastgroup
+        raw = match.group()
+        if kind == "ws":
+            continue
+        if kind == "float":
+            tokens.append(_Token("num", float(raw), match.start()))
+        elif kind == "int":
+            tokens.append(_Token("num", int(raw), match.start()))
+        elif kind == "str":
+            tokens.append(_Token("str", raw[1:-1].replace("''", "'"), match.start()))
+        elif kind == "op":
+            tokens.append(_Token("op", raw, match.start()))
+        elif kind == "lparen":
+            tokens.append(_Token("(", raw, match.start()))
+        elif kind == "rparen":
+            tokens.append(_Token(")", raw, match.start()))
+        elif kind == "comma":
+            tokens.append(_Token(",", raw, match.start()))
+        else:
+            upper = raw.upper()
+            if upper in _KEYWORDS:
+                tokens.append(_Token("kw", upper, match.start()))
+            else:
+                tokens.append(_Token("ident", raw, match.start()))
+    return tokens
+
+
+@dataclass(frozen=True)
+class _Like(Predicate):
+    """General LIKE pattern (compiled to a regex; scan-only)."""
+
+    attr: str
+    pattern: str
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        got = attributes.get(self.attr)
+        if not isinstance(got, str):
+            return False
+        return _like_regex(self.pattern).fullmatch(got) is not None
+
+
+_LIKE_CACHE: dict = {}
+
+
+def _like_regex(pattern: str) -> "re.Pattern[str]":
+    compiled = _LIKE_CACHE.get(pattern)
+    if compiled is None:
+        parts = []
+        for ch in pattern:
+            if ch == "%":
+                parts.append(".*")
+            elif ch == "_":
+                parts.append(".")
+            else:
+                parts.append(re.escape(ch))
+        compiled = re.compile("".join(parts), re.DOTALL)
+        _LIKE_CACHE[pattern] = compiled
+    return compiled
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token], text: str) -> None:
+        self.tokens = tokens
+        self.text = text
+        self.i = 0
+
+    # -- token helpers ---------------------------------------------------
+    def peek(self) -> Optional[_Token]:
+        return self.tokens[self.i] if self.i < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        tok = self.peek()
+        if tok is None:
+            raise SelectorSyntaxError("unexpected end of selector")
+        self.i += 1
+        return tok
+
+    def accept_kw(self, word: str) -> bool:
+        tok = self.peek()
+        if tok is not None and tok.kind == "kw" and tok.value == word:
+            self.i += 1
+            return True
+        return False
+
+    def expect(self, kind: str, value: Optional[str] = None) -> _Token:
+        tok = self.next()
+        if tok.kind != kind or (value is not None and tok.value != value):
+            raise SelectorSyntaxError(
+                f"expected {value or kind} at position {tok.pos}, got {tok.value!r}"
+            )
+        return tok
+
+    # -- grammar ----------------------------------------------------------
+    def parse(self) -> Predicate:
+        expr = self.or_expr()
+        if self.peek() is not None:
+            tok = self.peek()
+            raise SelectorSyntaxError(f"trailing input at position {tok.pos}: {tok.value!r}")
+        return expr
+
+    def or_expr(self) -> Predicate:
+        terms = [self.and_expr()]
+        while self.accept_kw("OR"):
+            terms.append(self.and_expr())
+        return terms[0] if len(terms) == 1 else Or(terms)
+
+    def and_expr(self) -> Predicate:
+        terms = [self.not_expr()]
+        while self.accept_kw("AND"):
+            terms.append(self.not_expr())
+        return terms[0] if len(terms) == 1 else And(terms)
+
+    def not_expr(self) -> Predicate:
+        if self.accept_kw("NOT"):
+            return Not(self.not_expr())
+        return self.primary()
+
+    def primary(self) -> Predicate:
+        tok = self.peek()
+        if tok is not None and tok.kind == "(":
+            self.next()
+            inner = self.or_expr()
+            self.expect(")")
+            return inner
+        return self.comparison()
+
+    def literal(self) -> Any:
+        tok = self.next()
+        if tok.kind in ("num", "str"):
+            return tok.value
+        if tok.kind == "kw" and tok.value in ("TRUE", "FALSE"):
+            return tok.value == "TRUE"
+        raise SelectorSyntaxError(f"expected a literal at position {tok.pos}")
+
+    def comparison(self) -> Predicate:
+        tok = self.next()
+        if tok.kind != "ident":
+            raise SelectorSyntaxError(
+                f"expected an attribute name at position {tok.pos}, got {tok.value!r}"
+            )
+        attr = tok.value
+        nxt = self.peek()
+        if nxt is None:
+            # Bare boolean attribute: "enabled" means enabled = TRUE.
+            return Eq(attr, True)
+        negated = False
+        if nxt.kind == "kw" and nxt.value == "NOT":
+            self.next()
+            negated = True
+            nxt = self.peek()
+            if nxt is None:
+                raise SelectorSyntaxError("dangling NOT")
+        if nxt.kind == "op":
+            op = self.next().value
+            value = self.literal()
+            if negated:
+                raise SelectorSyntaxError("NOT is not valid before a comparison operator")
+            if op == "=":
+                return Eq(attr, value)
+            if op == "<>":
+                return Ne(attr, value)
+            return Cmp(attr, op, value)
+        if nxt.kind == "kw" and nxt.value == "BETWEEN":
+            self.next()
+            lo = self.literal()
+            if not self.accept_kw("AND"):
+                raise SelectorSyntaxError("BETWEEN requires AND")
+            hi = self.literal()
+            pred: Predicate = Between(attr, lo, hi)
+            return Not(pred) if negated else pred
+        if nxt.kind == "kw" and nxt.value == "IN":
+            self.next()
+            self.expect("(")
+            values = [self.literal()]
+            while self.peek() is not None and self.peek().kind == ",":
+                self.next()
+                values.append(self.literal())
+            self.expect(")")
+            pred = In(attr, values)
+            return Not(pred) if negated else pred
+        if nxt.kind == "kw" and nxt.value == "LIKE":
+            self.next()
+            tok2 = self.next()
+            if tok2.kind != "str":
+                raise SelectorSyntaxError("LIKE requires a string pattern")
+            pattern = tok2.value
+            pred = _compile_like(attr, pattern)
+            return Not(pred) if negated else pred
+        if nxt.kind == "kw" and nxt.value == "IS":
+            if negated:
+                raise SelectorSyntaxError("NOT is not valid before IS")
+            self.next()
+            is_not = self.accept_kw("NOT")
+            if not self.accept_kw("NULL"):
+                raise SelectorSyntaxError("IS must be followed by [NOT] NULL")
+            return Exists(attr) if is_not else Not(Exists(attr))
+        # Bare boolean attribute followed by AND/OR/...
+        return Eq(attr, True) if not negated else Not(Eq(attr, True))
+
+
+def _compile_like(attr: str, pattern: str) -> Predicate:
+    """Prefix patterns use the cheap Prefix predicate; rest use regex."""
+    body = pattern[:-1] if pattern.endswith("%") else None
+    if body is not None and "%" not in body and "_" not in body:
+        return Prefix(attr, body)
+    return _Like(attr, pattern)
+
+
+def parse_selector(text: str) -> Predicate:
+    """Compile a JMS-style selector string into a Predicate."""
+    if not text or not text.strip():
+        raise SelectorSyntaxError("empty selector")
+    return _Parser(_tokenize(text), text).parse()

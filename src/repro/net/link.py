@@ -1,0 +1,113 @@
+"""Point-to-point FIFO links between simulation nodes.
+
+Gryphon brokers connect over TCP; the properties the protocol relies on
+are (1) FIFO delivery per direction, (2) silent loss of everything in
+flight when an endpoint crashes, and (3) connection teardown notifying
+the surviving endpoint.  :class:`Link` provides exactly those.
+
+Delivery of a message costs CPU at the *receiver* (``recv_cost_ms``
+from the message, see :class:`repro.net.transport.Endpoint`), so a
+flooded receiver saturates and back-pressures throughput — the effect
+behind Figure 4's peak-rate measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from .node import Node
+from .simtime import Scheduler
+
+
+class LinkEnd:
+    """One direction of a :class:`Link` (sender's view)."""
+
+    def __init__(self, link: "Link", sender: Node, receiver: Node) -> None:
+        self._link = link
+        self.sender = sender
+        self.receiver = receiver
+        self._handler: Optional[Callable[[Any], None]] = None
+        self._recv_cost: Callable[[Any], float] = lambda _msg: 0.0
+        self._last_arrival = 0.0
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+
+    def on_receive(self, handler: Callable[[Any], None], recv_cost: Callable[[Any], float]) -> None:
+        """Install the receiver-side handler and its CPU-cost model."""
+        self._handler = handler
+        self._recv_cost = recv_cost
+
+    def send(self, msg: Any) -> None:
+        """Transmit ``msg``; it arrives after the link latency, in order.
+
+        Messages sent while either endpoint is down are dropped, as are
+        messages whose receiver crashes while they are in flight (the
+        crash bumps the receiver's epoch, so their completion callbacks
+        never run — see :class:`repro.net.node.Node`).
+        """
+        self.sent += 1
+        if self._link.down or self.sender.is_down or self.receiver.is_down:
+            self.dropped += 1
+            return
+        scheduler = self._link.scheduler
+        arrival = max(scheduler.now + self._link.latency_ms, self._last_arrival)
+        self._last_arrival = arrival
+        scheduler.at(arrival, self._arrive, msg)
+
+    def _arrive(self, msg: Any) -> None:
+        if self._link.down or self.receiver.is_down or self._handler is None:
+            self.dropped += 1
+            return
+        handler = self._handler
+        if not self.receiver.try_submit(self._recv_cost(msg), lambda: handler(msg)):
+            self.dropped += 1
+            return
+        self.delivered += 1
+
+
+class Link:
+    """A bidirectional FIFO channel between two nodes."""
+
+    def __init__(self, scheduler: Scheduler, a: Node, b: Node, latency_ms: float = 1.0) -> None:
+        if latency_ms < 0:
+            raise ValueError("latency must be non-negative")
+        self.scheduler = scheduler
+        self.latency_ms = latency_ms
+        self.down = False
+        self.a_to_b = LinkEnd(self, a, b)
+        self.b_to_a = LinkEnd(self, b, a)
+        self._disconnect_listeners: List[Callable[[], None]] = []
+        # A crash of either endpoint tears the connection down from the
+        # point of view of the survivor.
+        a.on_crash(self._endpoint_crashed)
+        b.on_crash(self._endpoint_crashed)
+
+    def end_for_sender(self, node: Node) -> LinkEnd:
+        """The directed end whose sender is ``node``."""
+        if node is self.a_to_b.sender:
+            return self.a_to_b
+        if node is self.b_to_a.sender:
+            return self.b_to_a
+        raise ValueError(f"{node!r} is not an endpoint of this link")
+
+    def on_disconnect(self, fn: Callable[[], None]) -> None:
+        self._disconnect_listeners.append(fn)
+
+    def sever(self) -> None:
+        """Administratively cut the link (both directions)."""
+        if self.down:
+            return
+        self.down = True
+        for fn in list(self._disconnect_listeners):
+            fn()
+
+    def restore(self) -> None:
+        """Re-establish a severed link (a fresh FIFO connection)."""
+        self.down = False
+        self.a_to_b._last_arrival = 0.0
+        self.b_to_a._last_arrival = 0.0
+
+    def _endpoint_crashed(self) -> None:
+        for fn in list(self._disconnect_listeners):
+            fn()

@@ -1,0 +1,166 @@
+"""Discrete-event simulation kernel.
+
+The paper's evaluation ran on a cluster of IBM RS/6000 servers; this
+reproduction runs the identical protocol code against a deterministic
+discrete-event scheduler instead.  The kernel is deliberately tiny:
+
+* time is a float in **milliseconds** (the paper's tick unit),
+* events fire in ``(time, sequence)`` order, so equal-time events fire
+  in scheduling order and every run is exactly reproducible,
+* handles support O(1) cancellation (lazily removed from the heap).
+
+Periodic activities (knowledge flushes, ack timers, metric sampling)
+are built from :meth:`Scheduler.every`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled callback."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., None], args: Tuple[Any, ...]):
+        self.time = time
+        self.seq = seq
+        self.fn: Optional[Callable[..., None]] = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (idempotent)."""
+        self.cancelled = True
+        self.fn = None  # release references early
+        self.args = ()
+
+
+class PeriodicHandle:
+    """A cancellable reference to a repeating callback."""
+
+    __slots__ = ("_current", "cancelled")
+
+    def __init__(self) -> None:
+        self._current: Optional[EventHandle] = None
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._current is not None:
+            self._current.cancel()
+            self._current = None
+
+
+class Scheduler:
+    """The virtual clock and event queue shared by a whole simulation."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._seq = itertools.count()
+        self._executed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of callbacks executed so far (for diagnostics)."""
+        return self._executed
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (possibly cancelled) events still queued."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def at(self, time: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
+        handle = EventHandle(time, next(self._seq), fn, args)
+        heapq.heappush(self._heap, (time, handle.seq, handle))
+        return handle
+
+    def after(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` after ``delay`` milliseconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.at(self._now + delay, fn, *args)
+
+    def every(
+        self,
+        interval: float,
+        fn: Callable[..., None],
+        *args: Any,
+        first_delay: Optional[float] = None,
+    ) -> PeriodicHandle:
+        """Schedule ``fn(*args)`` every ``interval`` ms until cancelled.
+
+        The first firing happens after ``first_delay`` (default: one full
+        interval).  The callback runs *before* the next firing is
+        scheduled, so a callback that raises stops the periodic task.
+        """
+        if interval <= 0:
+            raise ValueError(f"non-positive interval: {interval}")
+        periodic = PeriodicHandle()
+
+        def tick() -> None:
+            if periodic.cancelled:
+                return
+            fn(*args)
+            if not periodic.cancelled:
+                periodic._current = self.after(interval, tick)
+
+        delay = interval if first_delay is None else first_delay
+        periodic._current = self.after(delay, tick)
+        return periodic
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the queue is empty."""
+        while self._heap:
+            time, _seq, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = time
+            fn, args = handle.fn, handle.args
+            handle.fn, handle.args = None, ()  # allow GC of closures
+            assert fn is not None
+            self._executed += 1
+            fn(*args)
+            return True
+        return False
+
+    def run_until(self, time: float) -> None:
+        """Execute every event with timestamp ``<= time``; advance clock to ``time``."""
+        while self._heap:
+            next_time = self._heap[0][0]
+            if next_time > time:
+                break
+            if not self.step():
+                break
+        if time > self._now:
+            self._now = time
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Drain the queue (optionally bounded).  Returns events executed."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        return executed

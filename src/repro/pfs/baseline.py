@@ -1,0 +1,108 @@
+"""The baseline the paper argues against: per-subscriber event logs.
+
+Introduction: *"Every edge-broker to which durable subscribers connect
+... maintains a persistent event log for each durable subscriber in
+which each event that matches the subscriber is placed ... This is the
+typical solution adopted at SHBs by current Message Queuing products."*
+
+Disadvantages reproduced here by construction: an event is logged once
+*per matching subscriber* (full event bytes each time), so an SHB with
+n matching subscribers writes ``n * event_size`` bytes where the PFS
+writes ``8 + 16n``.  The Section 5.1.2 microbenchmark compares the two
+implementations head-to-head on the same workload; this module is the
+"event logging" side of that comparison and also serves as a functional
+baseline (it supports delivery, ack-trimming and reconnect reads).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.events import Event
+from ..storage.disk import SimDisk
+from ..storage.logvolume import LogStream, LogVolume
+
+
+class PerSubscriberEventLogs:
+    """MQ-style per-subscriber persistent event queues at an SHB."""
+
+    def __init__(self, volume: Optional[LogVolume] = None, disk: Optional[SimDisk] = None) -> None:
+        self.volume = volume if volume is not None else LogVolume.in_memory()
+        self.disk = disk
+        self._streams: Dict[str, LogStream] = {}
+        # (sub_id) -> list of (index, timestamp) for ack-trimming; the
+        # timestamp is also encoded in the record for reconnect reads.
+        self._index_by_ts: Dict[str, List[Tuple[int, int]]] = {}
+        self.appends = 0
+        self.bytes_written = 0
+
+    def _stream(self, sub_id: str) -> LogStream:
+        stream = self._streams.get(sub_id)
+        if stream is None:
+            stream = self.volume.stream(f"subq:{sub_id}")
+            self._streams[sub_id] = stream
+            self._index_by_ts[sub_id] = []
+        return stream
+
+    # ------------------------------------------------------------------
+    # Write path: one full event copy per matching subscriber
+    # ------------------------------------------------------------------
+    def append_event(
+        self,
+        event: Event,
+        matching_subs: List[str],
+        on_durable: Optional[Callable[[], None]] = None,
+    ) -> int:
+        """Log ``event`` once per matching subscriber; returns bytes written."""
+        total = 0
+        for sub_id in matching_subs:
+            stream = self._stream(sub_id)
+            record = self._encode(event)
+            index = stream.append(record)
+            self._index_by_ts[sub_id].append((index, event.timestamp))
+            total += len(record)
+        self.appends += len(matching_subs)
+        self.bytes_written += total
+        if self.disk is None:
+            if on_durable is not None:
+                on_durable()
+        else:
+            self.disk.write(total, on_durable)
+        return total
+
+    @staticmethod
+    def _encode(event: Event) -> bytes:
+        """A stand-in for the full serialized event (size is what matters)."""
+        header = event.timestamp.to_bytes(8, "little", signed=True)
+        body = b"\x00" * (event.size_bytes - 8)
+        return header + body
+
+    # ------------------------------------------------------------------
+    # Read / ack path
+    # ------------------------------------------------------------------
+    def pending_after(self, sub_id: str, after_ts: int) -> List[int]:
+        """Timestamps logged for ``sub_id`` with timestamp > ``after_ts``."""
+        return [ts for _idx, ts in self._index_by_ts.get(sub_id, []) if ts > after_ts]
+
+    def read_timestamp(self, sub_id: str, timestamp: int) -> Optional[bytes]:
+        for idx, ts in self._index_by_ts.get(sub_id, []):
+            if ts == timestamp:
+                return self._stream(sub_id).read(idx)
+        return None
+
+    def ack_through(self, sub_id: str, timestamp: int) -> int:
+        """Trim the subscriber's log through ``timestamp`` (consumption ack)."""
+        entries = self._index_by_ts.get(sub_id, [])
+        keep = [(idx, ts) for idx, ts in entries if ts > timestamp]
+        trimmed = len(entries) - len(keep)
+        if trimmed:
+            last_acked_index = max(idx for idx, ts in entries if ts <= timestamp)
+            self._stream(sub_id).chop(last_acked_index)
+            self._index_by_ts[sub_id] = keep
+        return trimmed
+
+    def flush(self) -> None:
+        self.volume.flush()
+
+    def queue_depth(self, sub_id: str) -> int:
+        return len(self._index_by_ts.get(sub_id, []))

@@ -1,0 +1,263 @@
+"""The Persistent Filtering Subsystem (Section 4.2).
+
+The PFS stores, durably, *which events matched which durable
+subscribers*, so a reconnecting subscriber's catchup stream learns its
+missed Q ticks without retrieving and refiltering events.
+
+Write path (used by the consolidated stream): one record per timestamp
+that is Q for at least one subscriber — the record holds the timestamp
+and the matching subscriber list with per-subscriber backpointers
+(:mod:`repro.pfs.records`).  Timestamps with no matches write nothing.
+All pubends known to the SHB share one
+:class:`~repro.storage.logvolume.LogVolume`, one log stream each.
+
+Read path (used by catchup streams): a *batch read* for subscriber *s*
+after timestamp *a* walks the backpointer chain from ``lastIndex(s)``
+newest→oldest, retaining the **oldest** ``buffer_qs`` Q ticks (a ring
+buffer filled newest-first ends holding the oldest visited — delivery
+must proceed in timestamp order, so the oldest portion is what the
+caller needs next).  Ticks of the covered span that are not Q are S;
+ticks above the covered span are unknown to this read and will be
+picked up by the next one.
+
+Durability: records are appended to the (volume-backed) stream
+immediately but count as durable only when the attached
+:class:`~repro.storage.disk.SimDisk` sync covering them completes; the
+consolidated stream advances ``latestDelivered`` only then.  A crash
+discards appends beyond the durable horizon.  ``lastIndex`` /
+``lastTimestamp`` metadata is kept in memory and rebuilt on recovery by
+scanning the live (unchopped) portion of each stream — the paper keeps
+it in a DB table; rebuilding from the log is equivalent because the
+live stream is bounded by the release protocol (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Iterable, List, Optional
+
+from ..storage.disk import SimDisk
+from ..storage.logvolume import LogStream, LogVolume
+from ..util.errors import StorageError
+from .records import NO_PREVIOUS, PFSRecord
+
+
+@dataclass
+class PFSReadResult:
+    """Outcome of one batch read for a subscriber.
+
+    The read speaks for the tick span ``(after, covered_to]`` — within
+    it, ``q_ticks`` are Q *for ticks >= known_from* and every other
+    tick is S.  Ticks below ``known_from`` were chopped (released);
+    the PFS knows nothing about them (the pubend will answer L).
+    ``reached_last_timestamp`` is True when the read consumed the chain
+    all the way to the newest record (87% of reads do in the paper's
+    failure experiment); False means the ring buffer overflowed.
+    """
+
+    after: int
+    covered_to: int
+    q_ticks: List[int]
+    known_from: int
+    reached_last_timestamp: bool
+    records_visited: int
+
+    @property
+    def q_count(self) -> int:
+        return len(self.q_ticks)
+
+
+@dataclass
+class _PubendState:
+    stream: LogStream
+    last_timestamp: int = 0                 # newest Q tick written
+    last_index: Dict[int, int] = field(default_factory=dict)  # sub_num -> index
+    durable_next_index: int = 0             # appends below this are synced
+    chopped_from_ts: int = 0                # ticks below this were chopped
+
+
+class PersistentFilteringSubsystem:
+    """One SHB's PFS across all pubends it knows."""
+
+    def __init__(self, volume: Optional[LogVolume] = None, disk: Optional[SimDisk] = None) -> None:
+        self.volume = volume if volume is not None else LogVolume.in_memory()
+        self.disk = disk
+        self._pubends: Dict[str, _PubendState] = {}
+        self.writes = 0
+        self.bytes_written = 0
+        self.reads = 0
+        self.reads_reaching_last = 0
+
+    def _state(self, pubend: str) -> _PubendState:
+        state = self._pubends.get(pubend)
+        if state is None:
+            stream = self.volume.stream(f"pfs:{pubend}")
+            state = _PubendState(stream=stream, durable_next_index=stream.next_index)
+            self._pubends[pubend] = state
+        return state
+
+    # ------------------------------------------------------------------
+    # Write API (constream)
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        pubend: str,
+        timestamp: int,
+        subscriber_nums: Iterable[int],
+        on_durable: Optional[Callable[[], None]] = None,
+    ) -> int:
+        """Log a Q tick for the given subscribers; returns record bytes.
+
+        Timestamps must be strictly increasing per pubend (the
+        constream delivers in order).  ``on_durable`` fires when the
+        record is crash-safe.
+        """
+        subs = list(subscriber_nums)
+        state = self._state(pubend)
+        if not subs:
+            raise ValueError("PFS write requires at least one matching subscriber")
+        if timestamp < state.chopped_from_ts:
+            raise StorageError(
+                f"PFS write at {timestamp} below chop point {state.chopped_from_ts}"
+            )
+        if timestamp <= state.last_timestamp:
+            # Replay after an SHB crash: the constream resumes from the
+            # committed latestDelivered, which can trail the PFS durable
+            # horizon (records become durable before latestDelivered is
+            # committed).  Matching is deterministic, so the identical
+            # record is already durably in the stream — report success.
+            if timestamp >= state.chopped_from_ts:
+                if on_durable is not None:
+                    on_durable()
+                return 0
+            raise StorageError(
+                f"non-monotonic PFS write: {timestamp} <= {state.last_timestamp}"
+            )
+        record = PFSRecord.build(timestamp, subs, state.last_index)
+        index = state.stream.append(record.encode())
+        for num in subs:
+            state.last_index[num] = index
+        state.last_timestamp = timestamp
+        self.writes += 1
+        self.bytes_written += record.size_bytes
+
+        def durable() -> None:
+            state.durable_next_index = max(state.durable_next_index, index + 1)
+            if on_durable is not None:
+                on_durable()
+
+        if self.disk is None:
+            durable()
+        else:
+            self.disk.write(record.size_bytes, durable)
+        return record.size_bytes
+
+    def flush(self) -> None:
+        """Flush the backing volume (real-file microbenchmark mode)."""
+        self.volume.flush()
+
+    # ------------------------------------------------------------------
+    # Read API (catchup streams)
+    # ------------------------------------------------------------------
+    def last_timestamp(self, pubend: str) -> int:
+        return self._state(pubend).last_timestamp
+
+    def read_batch(
+        self,
+        pubend: str,
+        subscriber_num: int,
+        after: int,
+        buffer_qs: int = 5000,
+    ) -> PFSReadResult:
+        """Batch-read subscriber ``subscriber_num``'s ticks after ``after``.
+
+        See the module docstring for the exact semantics of the result.
+        """
+        if buffer_qs <= 0:
+            raise ValueError("buffer_qs must be positive")
+        state = self._state(pubend)
+        self.reads += 1
+        ring: Deque[int] = deque(maxlen=buffer_qs)
+        visited = 0
+        pushed = 0
+        index = state.last_index.get(subscriber_num, NO_PREVIOUS)
+        while index != NO_PREVIOUS and index >= state.stream.chopped_below:
+            record = PFSRecord.decode(state.stream.read(index))
+            visited += 1
+            if record.timestamp <= after:
+                break
+            ring.append(record.timestamp)
+            pushed += 1
+            prev = record.prev_index_of(subscriber_num)
+            if prev is None:
+                raise StorageError(
+                    f"backpointer chain corrupt: record {index} lacks subscriber {subscriber_num}"
+                )
+            index = prev
+        overflowed = pushed > buffer_qs
+        q_ticks = sorted(ring)
+        covered_to = q_ticks[-1] if overflowed and q_ticks else state.last_timestamp
+        if not overflowed:
+            self.reads_reaching_last += 1
+        return PFSReadResult(
+            after=after,
+            covered_to=max(covered_to, after),
+            q_ticks=q_ticks,
+            known_from=state.chopped_from_ts,
+            reached_last_timestamp=not overflowed,
+            records_visited=visited,
+        )
+
+    # ------------------------------------------------------------------
+    # Release / chop
+    # ------------------------------------------------------------------
+    def chop_below(self, pubend: str, timestamp: int) -> int:
+        """Discard records whose tick is below ``timestamp``.
+
+        Invoked as the release point advances; returns records chopped.
+        """
+        state = self._state(pubend)
+        if timestamp <= state.chopped_from_ts:
+            return 0
+        stream = state.stream
+        chopped = 0
+        last_chopped_index = None
+        index = stream.chopped_below
+        while index < min(stream.next_index, state.durable_next_index):
+            record = PFSRecord.decode(stream.read(index))
+            if record.timestamp >= timestamp:
+                break
+            last_chopped_index = index
+            chopped += 1
+            index += 1
+        if last_chopped_index is not None:
+            stream.chop(last_chopped_index)
+            # Drop stale lastIndex entries that now point below the chop.
+            for num, idx in list(state.last_index.items()):
+                if idx <= last_chopped_index:
+                    del state.last_index[num]
+        state.chopped_from_ts = timestamp
+        return chopped
+
+    # ------------------------------------------------------------------
+    # Failure / recovery
+    # ------------------------------------------------------------------
+    def crash_reset(self) -> None:
+        """Discard appends that never reached the disk."""
+        for state in self._pubends.values():
+            state.stream.crash_truncate(state.durable_next_index)
+        self.recover()
+
+    def recover(self) -> None:
+        """Rebuild lastIndex/lastTimestamp by scanning the live streams."""
+        for state in self._pubends.values():
+            state.last_index = {}
+            state.last_timestamp = state.chopped_from_ts
+            stream = state.stream
+            for index in range(stream.chopped_below, stream.next_index):
+                record = PFSRecord.decode(stream.read(index))
+                for num in record.subscribers():
+                    state.last_index[num] = index
+                state.last_timestamp = max(state.last_timestamp, record.timestamp)
+            state.durable_next_index = stream.next_index

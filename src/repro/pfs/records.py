@@ -1,0 +1,90 @@
+"""PFS record codec.
+
+Footnote 2 of the paper: *"Each event causes a log record write of
+length 8 + 16n bytes, where n represents the number of matching
+subscribers (n > 0)."*
+
+The layout reproduced here:
+
+* 8 bytes — the timestamp of the Q tick,
+* per matching subscriber, 16 bytes — the subscriber's numeric id and
+  the index of the *previous* record in this log stream that contains
+  the same subscriber (the backpointer that makes per-subscriber batch
+  reads possible without scanning the whole stream).
+
+The "first record for this subscriber" backpointer (the paper's ⊥) is
+encoded as -1.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..util.errors import CorruptLogError
+
+#: Backpointer value meaning "no earlier record contains this subscriber".
+NO_PREVIOUS = -1
+
+_TS = struct.Struct("<q")
+_ENTRY = struct.Struct("<qq")
+
+
+@dataclass(frozen=True)
+class PFSRecord:
+    """One PFS log record: a Q tick and its matching subscribers."""
+
+    timestamp: int
+    #: ``[(subscriber_num, prev_index), ...]`` — prev_index is the index
+    #: of the previous record containing that subscriber, or NO_PREVIOUS.
+    entries: Tuple[Tuple[int, int], ...]
+
+    @property
+    def size_bytes(self) -> int:
+        """Exactly ``8 + 16n`` (the paper's footnote 2)."""
+        return _TS.size + _ENTRY.size * len(self.entries)
+
+    def subscribers(self) -> List[int]:
+        return [num for num, _prev in self.entries]
+
+    def prev_index_of(self, subscriber_num: int) -> Optional[int]:
+        """This subscriber's backpointer, or None if not in the record."""
+        for num, prev in self.entries:
+            if num == subscriber_num:
+                return prev
+        return None
+
+    def encode(self) -> bytes:
+        parts = [_TS.pack(self.timestamp)]
+        parts.extend(_ENTRY.pack(num, prev) for num, prev in self.entries)
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "PFSRecord":
+        if len(data) < _TS.size or (len(data) - _TS.size) % _ENTRY.size != 0:
+            raise CorruptLogError(f"bad PFS record length {len(data)}")
+        (timestamp,) = _TS.unpack_from(data, 0)
+        entries = []
+        for offset in range(_TS.size, len(data), _ENTRY.size):
+            entries.append(_ENTRY.unpack_from(data, offset))
+        return cls(timestamp, tuple(entries))
+
+    @classmethod
+    def build(
+        cls,
+        timestamp: int,
+        subscriber_nums: List[int],
+        last_index: Dict[int, int],
+    ) -> "PFSRecord":
+        """Assemble a record, pulling each subscriber's backpointer.
+
+        ``last_index`` maps subscriber_num -> index of the latest record
+        containing that subscriber (absent = first appearance).
+        """
+        if not subscriber_nums:
+            raise ValueError("PFS records are only written for n > 0 matches")
+        entries = tuple(
+            (num, last_index.get(num, NO_PREVIOUS)) for num in sorted(subscriber_nums)
+        )
+        return cls(timestamp, entries)

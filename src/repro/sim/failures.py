@@ -1,0 +1,105 @@
+"""Failure injection schedules for experiments and tests.
+
+The Section 5.3 experiment scripts one SHB crash by hand; this module
+generalizes that into declarative schedules — broker crash windows,
+link partitions, client-machine crashes, and periodic GC-style stalls —
+so experiments compose failure scenarios instead of sprinkling
+``sim.at(...)`` calls.
+
+All times are absolute simulation milliseconds.  Every injected fault
+is recorded so tests can assert against what actually happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..broker.base import Broker
+from ..net.link import Link
+from ..net.node import Node
+from ..net.simtime import Scheduler
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault, for post-run assertions."""
+
+    kind: str          # 'crash', 'partition', 'stall'
+    target: str
+    at_ms: float
+    duration_ms: float
+
+
+class FailureSchedule:
+    """Declarative fault injection bound to one scheduler."""
+
+    def __init__(self, scheduler: Scheduler) -> None:
+        self.scheduler = scheduler
+        self.records: List[FaultRecord] = []
+        self._stall_timers = []
+
+    # ------------------------------------------------------------------
+    # Broker / node crashes
+    # ------------------------------------------------------------------
+    def crash_broker(self, broker: Broker, at_ms: float, down_ms: float) -> None:
+        """Crash-stop ``broker`` at ``at_ms`` and recover after ``down_ms``."""
+        self.records.append(FaultRecord("crash", broker.name, at_ms, down_ms))
+        self.scheduler.at(at_ms, broker.fail_for, down_ms)
+
+    def crash_node(self, node: Node, at_ms: float, down_ms: float) -> None:
+        """Crash a raw node (e.g. a client machine)."""
+        self.records.append(FaultRecord("crash", node.name, at_ms, down_ms))
+        self.scheduler.at(at_ms, node.fail_for, down_ms)
+
+    def repeated_crashes(
+        self, broker: Broker, first_at_ms: float, down_ms: float,
+        period_ms: float, count: int,
+    ) -> None:
+        """``count`` evenly spaced crash/recovery cycles."""
+        for k in range(count):
+            self.crash_broker(broker, first_at_ms + k * period_ms, down_ms)
+
+    # ------------------------------------------------------------------
+    # Link partitions
+    # ------------------------------------------------------------------
+    def partition_link(self, link: Link, at_ms: float, duration_ms: float,
+                       name: str = "link") -> None:
+        """Sever a link for ``duration_ms`` (messages silently dropped),
+        then restore it; the protocol recovers via nacks."""
+        self.records.append(FaultRecord("partition", name, at_ms, duration_ms))
+        self.scheduler.at(at_ms, link.sever)
+        self.scheduler.at(at_ms + duration_ms, link.restore)
+
+    # ------------------------------------------------------------------
+    # CPU stalls (GC pauses etc.)
+    # ------------------------------------------------------------------
+    def periodic_stall(self, node: Node, period_ms: float, pause_ms: float,
+                       first_at_ms: Optional[float] = None) -> None:
+        """Stall ``node``'s CPU for ``pause_ms`` every ``period_ms``.
+
+        Models the Java GC pauses behind the dips in Figure 6.
+        """
+        def stall() -> None:
+            self.records.append(
+                FaultRecord("stall", node.name, self.scheduler.now, pause_ms)
+            )
+            node.stall(pause_ms)
+
+        timer = self.scheduler.every(period_ms, stall, first_delay=first_at_ms)
+        self._stall_timers.append(timer)
+
+    def stop(self) -> None:
+        """Cancel periodic fault sources (one-shot faults still fire)."""
+        for timer in self._stall_timers:
+            timer.cancel()
+        self._stall_timers = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def faults_of(self, kind: str) -> List[FaultRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.records)

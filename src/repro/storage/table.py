@@ -1,0 +1,136 @@
+"""Crash-consistent key/value tables — the DB2 stand-in.
+
+Section 4.1: *"The latestDelivered(p) and released(s, p) timestamps are
+maintained in persistent storage since they need to survive SHB
+crashes.  Our implementation maintains these in database tables."* The
+JMS layer additionally stores per-subscriber checkpoint tokens in
+tables and commits them transactionally (Section 5.2).
+
+:class:`PersistentTable` provides the contract the protocol needs:
+
+* reads see the caller's own uncommitted writes (read-your-writes),
+* :meth:`commit` makes the current dirty set durable atomically — its
+  ``on_durable`` callback fires once the backing
+  :class:`~repro.storage.disk.SimDisk` sync covering it completes,
+* a crash (:meth:`crash_reset`) discards dirty *and* in-flight commits
+  whose sync had not completed; committed state survives.
+
+Sizes are estimated so the disk byte accounting stays meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+from .disk import SimDisk
+
+#: Rough per-row cost of a table write (key + value + index overhead).
+ROW_BYTES = 64
+
+
+class PersistentTable:
+    """A named table of ``str -> value`` with transactional commits."""
+
+    def __init__(self, name: str, disk: Optional[SimDisk] = None) -> None:
+        self.name = name
+        self._disk = disk
+        self._committed: Dict[str, Any] = {}
+        self._dirty: Dict[str, Any] = {}
+        self._deleted: set = set()
+        self.commits = 0
+        self._commit_epoch = 0  # bumped on crash; stale syncs are ignored
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+    def put(self, key: str, value: Any) -> None:
+        self._dirty[key] = value
+        self._deleted.discard(key)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        if key in self._dirty:
+            return self._dirty[key]
+        if key in self._deleted:
+            return default
+        return self._committed.get(key, default)
+
+    def get_committed(self, key: str, default: Any = None) -> Any:
+        """Read only the durably committed value (what a crash preserves).
+
+        Protocol decisions that must remain valid across a crash — the
+        release report, notably — must be based on this view, not on
+        the dirty overlay.
+        """
+        return self._committed.get(key, default)
+
+    def delete(self, key: str) -> None:
+        self._dirty.pop(key, None)
+        if key in self._committed:
+            self._deleted.add(key)
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        """Iterate the table as the caller currently sees it."""
+        for key, value in self._committed.items():
+            if key not in self._dirty and key not in self._deleted:
+                yield key, value
+        yield from self._dirty.items()
+
+    def committed_items(self) -> Iterator[Tuple[str, Any]]:
+        """Iterate only durably committed rows (what a crash preserves)."""
+        return iter(self._committed.copy().items())
+
+    @property
+    def dirty_row_count(self) -> int:
+        return len(self._dirty) + len(self._deleted)
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+    def commit(self, on_durable: Optional[Callable[[], None]] = None) -> int:
+        """Atomically persist the dirty set.
+
+        Returns the number of rows in the transaction.  With no disk
+        attached (unit tests, the real-file JMS path measures elsewhere)
+        the commit applies synchronously.
+        """
+        rows = len(self._dirty) + len(self._deleted)
+        if rows == 0:
+            if on_durable is not None:
+                if self._disk is None:
+                    on_durable()
+                else:
+                    self._disk.write(0, on_durable)
+            return 0
+        batch = dict(self._dirty)
+        deleted = set(self._deleted)
+        self._dirty = {}
+        self._deleted = set()
+        epoch = self._commit_epoch
+
+        def apply() -> None:
+            if epoch != self._commit_epoch:
+                return  # crashed before this sync completed
+            self._committed.update(batch)
+            for key in deleted:
+                self._committed.pop(key, None)
+            self.commits += 1
+            if on_durable is not None:
+                on_durable()
+
+        if self._disk is None:
+            apply()
+        else:
+            self._disk.write(rows * ROW_BYTES, apply)
+        return rows
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def crash_reset(self) -> None:
+        """Simulate a crash: lose dirty state and in-flight commits."""
+        self._commit_epoch += 1
+        self._dirty = {}
+        self._deleted = set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PersistentTable {self.name} rows={len(self._committed)} dirty={self.dirty_row_count}>"

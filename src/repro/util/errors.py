@@ -1,0 +1,54 @@
+"""Exception hierarchy for the reproduction library.
+
+Every error raised by ``repro`` code derives from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing programming errors (``ValueError``/``TypeError``
+raised on bad arguments) from operational failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ProtocolError(ReproError):
+    """A broker or client violated the stream/routing protocol.
+
+    Raised, for example, when a knowledge update regresses a doubt
+    horizon or when conflicting tick values (D vs S) are accumulated for
+    the same timestamp.
+    """
+
+
+class StorageError(ReproError):
+    """A persistent-storage operation failed or was used incorrectly."""
+
+
+class CorruptLogError(StorageError):
+    """A log-volume record failed its checksum or framing validation."""
+
+
+class RecordNotFoundError(StorageError):
+    """A log-volume index points below the chop point or past the end."""
+
+
+class NodeDownError(ReproError):
+    """An operation was attempted on a crashed simulation node."""
+
+
+class NotConnectedError(ReproError):
+    """A client operation requires an active broker connection."""
+
+
+class SubscriptionError(ReproError):
+    """A durable subscription was used in an invalid way.
+
+    Examples: reconnecting a subscription id that is already connected,
+    or acknowledging a checkpoint token that regresses a prior ack.
+    """
+
+
+class ConfigurationError(ReproError):
+    """An experiment or topology configuration is inconsistent."""

@@ -1,0 +1,144 @@
+"""Windowed rate and utilization estimators over simulated time.
+
+The paper reports throughput (events/second), tick-advance rates
+(tick-milliseconds per second of real time, Figures 6 and 7) and CPU
+idle percentages (Figure 8).  These helpers turn raw counters sampled
+against the simulation clock into the per-window series those plots
+show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class RateCounter:
+    """Counts discrete occurrences and reports per-window rates.
+
+    ``record(now)`` registers occurrences; :meth:`rate` converts the
+    count accumulated since the previous sample into an events/second
+    figure.  Time is in milliseconds, matching the simulation clock.
+    """
+
+    name: str = ""
+    _count: int = 0
+    _last_sample_time: float = 0.0
+    _last_sample_count: int = 0
+
+    def record(self, n: int = 1) -> None:
+        self._count += n
+
+    @property
+    def total(self) -> int:
+        return self._count
+
+    def rate(self, now_ms: float) -> float:
+        """Events per second since the previous call to :meth:`rate`."""
+        elapsed = now_ms - self._last_sample_time
+        delta = self._count - self._last_sample_count
+        self._last_sample_time = now_ms
+        self._last_sample_count = self._count
+        if elapsed <= 0.0:
+            return 0.0
+        return delta * 1000.0 / elapsed
+
+
+@dataclass
+class GaugeRate:
+    """Tracks the advance rate of a monotone gauge (e.g. latestDelivered).
+
+    Figure 6 plots how many tick-milliseconds ``latestDelivered(p)`` and
+    ``released(p)`` advance per second of wall-clock time.  ``sample``
+    with the current gauge value returns exactly that quantity.
+    """
+
+    name: str = ""
+    _last_time: Optional[float] = None
+    _last_value: Optional[float] = None
+
+    def sample(self, now_ms: float, value: float) -> float:
+        """Gauge units advanced per second since the previous sample."""
+        if self._last_time is None or self._last_value is None:
+            self._last_time, self._last_value = now_ms, value
+            return 0.0
+        elapsed = now_ms - self._last_time
+        delta = value - self._last_value
+        self._last_time, self._last_value = now_ms, value
+        if elapsed <= 0.0:
+            return 0.0
+        return delta * 1000.0 / elapsed
+
+
+@dataclass
+class BusyTracker:
+    """Accumulates busy time for a serially scheduled resource.
+
+    A simulation node reports ``[start, end]`` busy spans; ``idle_fraction``
+    returns the idle percentage over the window since the last sample —
+    the quantity plotted in Figure 8's CPU charts.
+    """
+
+    _busy_ms: float = 0.0
+    _last_sample_time: float = 0.0
+    _last_sample_busy: float = 0.0
+
+    def add_busy(self, duration_ms: float) -> None:
+        if duration_ms < 0:
+            raise ValueError("busy duration must be non-negative")
+        self._busy_ms += duration_ms
+
+    @property
+    def total_busy_ms(self) -> float:
+        return self._busy_ms
+
+    def idle_fraction(self, now_ms: float) -> float:
+        """Fraction of the window since the last sample spent idle (0..1)."""
+        elapsed = now_ms - self._last_sample_time
+        busy = self._busy_ms - self._last_sample_busy
+        self._last_sample_time = now_ms
+        self._last_sample_busy = self._busy_ms
+        if elapsed <= 0.0:
+            return 1.0
+        return max(0.0, min(1.0, 1.0 - busy / elapsed))
+
+
+@dataclass
+class Series:
+    """An append-only (time, value) series with simple reductions."""
+
+    name: str = ""
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def append(self, t_ms: float, value: float) -> None:
+        self.points.append((t_ms, value))
+
+    def values(self) -> List[float]:
+        return [v for _, v in self.points]
+
+    def times(self) -> List[float]:
+        return [t for t, _ in self.points]
+
+    def mean(self) -> float:
+        vals = self.values()
+        if not vals:
+            return 0.0
+        return sum(vals) / len(vals)
+
+    def max(self) -> float:
+        vals = self.values()
+        return max(vals) if vals else 0.0
+
+    def min(self) -> float:
+        vals = self.values()
+        return min(vals) if vals else 0.0
+
+    def between(self, t0: float, t1: float) -> "Series":
+        """Sub-series with sample times in ``[t0, t1]``."""
+        out = Series(self.name)
+        out.points = [(t, v) for t, v in self.points if t0 <= t <= t1]
+        return out
+
+    def __len__(self) -> int:
+        return len(self.points)

@@ -1,0 +1,69 @@
+"""Tests for the per-subscriber event-log baseline (the MQ-style design)."""
+
+from repro.core.events import Event
+from repro.pfs.baseline import PerSubscriberEventLogs
+from repro.pfs.pfs import PersistentFilteringSubsystem
+
+
+def ev(t):
+    return Event("P1", t, {"g": t % 4})
+
+
+class TestBaseline:
+    def test_event_logged_once_per_matching_subscriber(self):
+        logs = PerSubscriberEventLogs()
+        logs.append_event(ev(10), ["s1", "s2", "s3"])
+        assert logs.appends == 3
+        assert logs.bytes_written == 3 * ev(10).size_bytes
+
+    def test_pending_after(self):
+        logs = PerSubscriberEventLogs()
+        for t in (10, 20, 30):
+            logs.append_event(ev(t), ["s1"])
+        assert logs.pending_after("s1", 10) == [20, 30]
+        assert logs.pending_after("s2", 0) == []
+
+    def test_read_timestamp(self):
+        logs = PerSubscriberEventLogs()
+        logs.append_event(ev(10), ["s1"])
+        data = logs.read_timestamp("s1", 10)
+        assert data is not None
+        assert len(data) == ev(10).size_bytes
+        assert logs.read_timestamp("s1", 99) is None
+
+    def test_ack_trims_queue(self):
+        logs = PerSubscriberEventLogs()
+        for t in (10, 20, 30):
+            logs.append_event(ev(t), ["s1"])
+        assert logs.ack_through("s1", 20) == 2
+        assert logs.queue_depth("s1") == 1
+        assert logs.pending_after("s1", 0) == [30]
+
+    def test_ack_noop_when_nothing_eligible(self):
+        logs = PerSubscriberEventLogs()
+        logs.append_event(ev(10), ["s1"])
+        assert logs.ack_through("s1", 5) == 0
+        assert logs.queue_depth("s1") == 1
+
+    def test_independent_queues(self):
+        logs = PerSubscriberEventLogs()
+        logs.append_event(ev(10), ["s1", "s2"])
+        logs.ack_through("s1", 10)
+        assert logs.queue_depth("s1") == 0
+        assert logs.queue_depth("s2") == 1
+
+
+class TestBytesComparison:
+    def test_pfs_writes_far_fewer_bytes_than_baseline(self):
+        """The core of the Section 5.1.2 claim: ~25x at n=25 matches."""
+        pfs = PersistentFilteringSubsystem()
+        baseline = PerSubscriberEventLogs()
+        n_matching = 25
+        subs = [f"s{i}" for i in range(n_matching)]
+        for k in range(100):
+            event = ev(10 * (k + 1))
+            pfs.write("P1", event.timestamp, list(range(n_matching)))
+            baseline.append_event(event, subs)
+        ratio = baseline.bytes_written / pfs.bytes_written
+        # 418 * 25 / (8 + 16 * 25) = 25.6
+        assert 24.0 < ratio < 27.0

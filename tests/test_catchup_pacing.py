@@ -1,0 +1,107 @@
+"""Tests for catchup flow control: rate pacing and delivery windows."""
+
+import pytest
+
+from repro import (
+    DurableSubscriber,
+    Everything,
+    In,
+    Node,
+    PeriodicPublisher,
+    Scheduler,
+    build_two_broker,
+)
+
+
+def run_catchup(disconnect_s, rate=100, groups=(0, 1, 2, 3)):
+    """Disconnect a subscriber for ``disconnect_s``; return its catchup
+    duration and the SHB."""
+    sim = Scheduler()
+    overlay = build_two_broker(sim, ["P1"])
+    shb = overlay.shbs[0]
+    sub = DurableSubscriber(sim, "s1", Node(sim, "c"), In("group", list(groups)),
+                            record_events=True)
+    sub.connect(shb)
+    pub = PeriodicPublisher(sim, overlay.phb, "P1", rate,
+                            attribute_fn=lambda i: {"group": i % 4})
+    pub.start()
+    sim.run_until(3_000)
+    sub.disconnect()
+    sim.run_until(3_000 + disconnect_s * 1_000)
+    sub.connect(shb)
+    horizon = 3_000 + disconnect_s * 1_000
+    while sim.now < horizon + 20 * disconnect_s * 1_000 + 20_000:
+        sim.run_until(sim.now + 500)
+        if shb.active_catchup_count == 0 and shb.catchup_durations_ms:
+            break
+    pub.stop()
+    sim.run_until(sim.now + 3_000)
+    durations = [d for _t, d in shb.catchup_durations_ms]
+    return durations[-1] if durations else None, shb, sub, pub
+
+
+class TestRatePacing:
+    def test_catchup_duration_proportional_to_disconnection(self):
+        """The Figure 5 shape: duration scales with the missed span."""
+        short, *_ = run_catchup(2)
+        long, *_ = run_catchup(6)
+        assert short is not None and long is not None
+        assert 2.0 < long / short < 4.5  # ~3x for 3x the disconnection
+
+    def test_catchup_duration_near_disconnection_length(self):
+        duration, shb, sub, pub = run_catchup(4)
+        # rate_boost 1.9 => duration ~ disconnection / 0.9 minus burst.
+        assert 1_500 < duration < 8_000
+        assert sub.duplicate_events == 0
+        assert sub.stats.order_violations == 0
+
+    def test_sparse_subscriber_same_relative_duration(self):
+        """Pacing is scale-free: a subscriber matching 1/4 of the events
+        catches up in roughly the same (relative) time."""
+        dense, *_ = run_catchup(4, groups=(0, 1, 2, 3))
+        sparse, *_ = run_catchup(4, groups=(1,))
+        assert 0.3 < sparse / dense < 2.5
+
+    def test_delivery_completes_exactly_once(self):
+        _d, shb, sub, pub = run_catchup(5)
+        assert sub.stats.events == pub.published
+        assert sub.duplicate_events == 0
+
+
+class TestEventCache:
+    def test_cache_answers_catchup_locally(self):
+        _d, shb, sub, pub = run_catchup(2)
+        # All recovery nacks were served by the SHB's own cache; the
+        # PHB never saw them.
+        assert shb.cache_served_nacks > 0
+
+    def test_cache_trimmed_to_span(self):
+        sim = Scheduler()
+        overlay = build_two_broker(sim, ["P1"], event_cache_span_ms=1_000)
+        shb = overlay.shbs[0]
+        sub = DurableSubscriber(sim, "s1", Node(sim, "c"), Everything())
+        sub.connect(shb)
+        pub = PeriodicPublisher(sim, overlay.phb, "P1", 100,
+                                attribute_fn=lambda i: {"group": 0})
+        pub.start()
+        sim.run_until(10_000)
+        cache = shb.event_cache["P1"]
+        # Only ~1s of events retained.
+        assert cache.d_count < 150
+        assert cache.max_known() > 9_000
+
+    def test_cache_cleared_on_crash(self):
+        sim = Scheduler()
+        overlay = build_two_broker(sim, ["P1"])
+        shb = overlay.shbs[0]
+        sub = DurableSubscriber(sim, "s1", Node(sim, "c"), Everything())
+        sub.connect(shb)
+        pub = PeriodicPublisher(sim, overlay.phb, "P1", 100,
+                                attribute_fn=lambda i: {"group": 0})
+        pub.start()
+        sim.run_until(5_000)
+        assert shb.event_cache["P1"].d_count > 0
+        shb.fail_for(200)
+        sim.run_until(5_250)
+        # Volatile: rebuilt empty at recovery.
+        assert shb.event_cache["P1"].d_count < 50

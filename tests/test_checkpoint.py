@@ -1,0 +1,68 @@
+"""Tests for Checkpoint Tokens (the subscriber-owned vector clock)."""
+
+import pytest
+
+from repro.core.checkpoint import CheckpointToken
+from repro.util.errors import SubscriptionError
+
+
+class TestBasics:
+    def test_empty(self):
+        ct = CheckpointToken()
+        assert ct.get("P1") == 0
+        assert len(ct) == 0
+
+    def test_from_mapping(self):
+        ct = CheckpointToken({"P1": 5, "P2": 9})
+        assert ct.get("P1") == 5
+        assert ct.as_dict() == {"P1": 5, "P2": 9}
+
+    def test_as_dict_is_a_copy(self):
+        ct = CheckpointToken({"P1": 5})
+        d = ct.as_dict()
+        d["P1"] = 99
+        assert ct.get("P1") == 5
+
+    def test_copy_independent(self):
+        ct = CheckpointToken({"P1": 5})
+        other = ct.copy()
+        other.advance("P1", 10)
+        assert ct.get("P1") == 5
+
+    def test_equality(self):
+        assert CheckpointToken({"P1": 5}) == CheckpointToken({"P1": 5})
+        assert CheckpointToken({"P1": 5}) != CheckpointToken({"P1": 6})
+
+
+class TestAdvance:
+    def test_advance_monotone(self):
+        ct = CheckpointToken()
+        ct.advance("P1", 5)
+        ct.advance("P1", 5)   # equal is allowed
+        ct.advance("P1", 9)
+        assert ct.get("P1") == 9
+
+    def test_regression_rejected(self):
+        ct = CheckpointToken({"P1": 9})
+        with pytest.raises(SubscriptionError):
+            ct.advance("P1", 5)
+
+    def test_set_initial_once(self):
+        ct = CheckpointToken()
+        ct.set_initial("P1", 100)
+        assert ct.get("P1") == 100
+        with pytest.raises(SubscriptionError):
+            ct.set_initial("P1", 200)
+
+    def test_merge_max(self):
+        a = CheckpointToken({"P1": 5, "P2": 10})
+        b = CheckpointToken({"P1": 8, "P3": 2})
+        a.merge_max(b)
+        assert a.as_dict() == {"P1": 8, "P2": 10, "P3": 2}
+
+    def test_dominates(self):
+        a = CheckpointToken({"P1": 5, "P2": 10})
+        b = CheckpointToken({"P1": 5})
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert a.dominates(CheckpointToken())

@@ -1,0 +1,38 @@
+"""Smoke tests for the ``python -m repro`` experiment CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_latency_command(self, capsys):
+        assert main(["latency", "--duration", "3", "--rate", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "End-to-end latency" in out
+        assert "PHB logging" in out
+
+    def test_scalability_command(self, capsys):
+        assert main(["scalability", "--shbs", "1", "--subs", "6",
+                     "--duration", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "achieved rate" in out
+
+    def test_jms_command(self, capsys):
+        assert main(["jms", "--subs", "4", "--input-rate", "200",
+                     "--duration", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "consumed rate" in out
+
+    def test_stream_rates_command(self, capsys):
+        assert main(["stream-rates", "--subs", "4", "--duration", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "latestDelivered mean" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,104 @@
+"""Tests for the group-commit disk model."""
+
+import pytest
+
+from repro.net.simtime import Scheduler
+from repro.storage.disk import SimDisk
+
+
+@pytest.fixture
+def sim():
+    return Scheduler()
+
+
+def make_disk(sim, interval=10.0, duration=30.0, bw=1e9):
+    return SimDisk(sim, "d", sync_interval_ms=interval, sync_duration_ms=duration,
+                   bandwidth_bytes_per_ms=bw)
+
+
+class TestGroupCommit:
+    def test_write_durable_after_interval_plus_duration(self, sim):
+        disk = make_disk(sim)
+        done = []
+        disk.write(100, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(40.0)]
+
+    def test_writes_in_same_window_share_a_sync(self, sim):
+        disk = make_disk(sim)
+        done = []
+        disk.write(100, lambda: done.append(("a", sim.now)))
+        sim.run_until(5)
+        disk.write(100, lambda: done.append(("b", sim.now)))
+        sim.run()
+        assert [d[0] for d in done] == ["a", "b"]
+        assert all(d[1] == pytest.approx(40.0) for d in done)
+        assert disk.syncs_completed == 1
+
+    def test_write_during_sync_joins_next_cycle(self, sim):
+        disk = make_disk(sim)
+        done = []
+        disk.write(100, lambda: done.append(("a", sim.now)))
+        sim.run_until(20)  # sync in flight (started at 10, ends at 40)
+        disk.write(100, lambda: done.append(("b", sim.now)))
+        sim.run()
+        assert done[0][0] == "a" and done[0][1] == pytest.approx(40.0)
+        # b staged at 20; next sync armed after a's completes.
+        assert done[1][0] == "b"
+        assert done[1][1] > 40.0
+
+    def test_bytes_accounted(self, sim):
+        disk = make_disk(sim)
+        disk.write(100)
+        disk.write(250)
+        sim.run()
+        assert disk.bytes_written == 350
+
+    def test_bandwidth_extends_sync(self, sim):
+        disk = make_disk(sim, bw=10.0)  # 10 bytes/ms
+        done = []
+        disk.write(100, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(10 + 30 + 10.0)]
+
+    def test_callbacks_fire_in_write_order(self, sim):
+        disk = make_disk(sim)
+        order = []
+        for i in range(5):
+            disk.write(10, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_negative_bytes_rejected(self, sim):
+        with pytest.raises(ValueError):
+            make_disk(sim).write(-1)
+
+
+class TestCrash:
+    def test_staged_writes_lost_on_crash(self, sim):
+        disk = make_disk(sim)
+        done = []
+        disk.write(100, lambda: done.append("x"))
+        sim.run_until(5)
+        disk.crash_reset()
+        sim.run()
+        assert done == []
+
+    def test_in_flight_sync_voided_by_crash(self, sim):
+        disk = make_disk(sim)
+        done = []
+        disk.write(100, lambda: done.append("x"))
+        sim.run_until(20)  # sync started at 10, would complete at 40
+        disk.crash_reset()
+        sim.run()
+        assert done == []
+        assert disk.bytes_written == 0
+
+    def test_writes_after_crash_work(self, sim):
+        disk = make_disk(sim)
+        done = []
+        disk.write(100, lambda: done.append("lost"))
+        disk.crash_reset()
+        disk.write(100, lambda: done.append("kept"))
+        sim.run()
+        assert done == ["kept"]

@@ -1,0 +1,125 @@
+"""Integration tests for the early-release model (gap honesty).
+
+With a ``maxRetain`` policy, a long-disconnected subscriber may lose
+events — but never silently: every tick of the released region it
+missed is covered by an explicit gap message, well-behaved subscribers
+never see a gap, and the PHB's log stays bounded regardless of the
+misbehaving subscriber.
+"""
+
+from repro import (
+    DurableSubscriber,
+    Everything,
+    MaxRetainPolicy,
+    Node,
+    PeriodicPublisher,
+    Scheduler,
+    build_two_broker,
+)
+from repro.util.intervals import IntervalSet
+
+
+def build_world(sim, max_retain_ms=2_000):
+    # The SHB's volatile event cache can legitimately outlive the PHB's
+    # retention and satisfy a late subscriber without gaps; bound it
+    # below the disconnection length so these tests exercise the
+    # genuine information-lost-everywhere path.
+    overlay = build_two_broker(sim, ["P1"], policy=MaxRetainPolicy(max_retain_ms),
+                               event_cache_span_ms=max_retain_ms)
+    machine = Node(sim, "clients")
+    good = DurableSubscriber(sim, "good", machine, Everything(), record_events=True)
+    bad = DurableSubscriber(sim, "bad", machine, Everything(), record_events=True)
+    good.connect(overlay.shbs[0])
+    bad.connect(overlay.shbs[0])
+    pub = PeriodicPublisher(sim, overlay.phb, "P1", 100,
+                            attribute_fn=lambda i: {"group": i % 4})
+    pub.start()
+    return overlay, good, bad, pub
+
+
+class TestEarlyRelease:
+    def test_log_bounded_despite_disconnected_subscriber(self):
+        sim = Scheduler()
+        overlay, good, bad, pub = build_world(sim)
+        sim.run_until(2_000)
+        bad.disconnect()
+        sim.run_until(20_000)
+        log = overlay.phb.pubends["P1"].log
+        # Without early release the log would hold ~1800 events by now;
+        # maxRetain=2s caps it near 200.
+        assert log.live_event_count < 400
+        assert overlay.phb.pubends["P1"].lost_below > 15_000
+
+    def test_well_behaved_subscriber_never_gets_gaps(self):
+        sim = Scheduler()
+        overlay, good, bad, pub = build_world(sim)
+        sim.run_until(2_000)
+        bad.disconnect()
+        sim.run_until(10_000)
+        bad.connect(overlay.shbs[0])
+        sim.run_until(15_000)
+        pub.stop()
+        sim.run_until(17_000)
+        assert good.stats.gaps == 0
+        assert good.stats.events == pub.published
+        assert good.stats.order_violations == 0
+
+    def test_gap_honesty_for_late_subscriber(self):
+        """Every matching event is either delivered once or covered by a
+        gap range — never silently missing, never duplicated."""
+        sim = Scheduler()
+        overlay, good, bad, pub = build_world(sim)
+        sim.run_until(2_000)
+        bad.disconnect()
+        sim.run_until(10_000)
+        bad.connect(overlay.shbs[0])
+        sim.run_until(16_000)
+        pub.stop()
+        sim.run_until(20_000)
+
+        assert bad.duplicate_events == 0
+        assert bad.stats.order_violations == 0
+        assert bad.stats.gaps > 0
+
+        delivered = {int(e.split(":")[1]) for e in bad.received_event_ids}
+        gap_cover = IntervalSet()
+        for _p, start, end in bad.stats.gap_ranges:
+            gap_cover.add(start, end)
+        # Every event the good subscriber saw was either delivered to
+        # the bad one or falls inside one of its gap ranges.
+        for event_id in good.received_event_ids:
+            t = int(event_id.split(":")[1])
+            assert t in delivered or t in gap_cover, f"event {t} silently lost"
+        # And no event was both delivered and inside a gap (the gap
+        # range starts after the last delivered/acked position).
+        for t in delivered:
+            assert t not in gap_cover
+
+    def test_gap_only_for_released_region(self):
+        sim = Scheduler()
+        overlay, good, bad, pub = build_world(sim)
+        sim.run_until(2_000)
+        bad.disconnect()
+        sim.run_until(10_000)
+        lost_below = overlay.phb.pubends["P1"].lost_below
+        bad.connect(overlay.shbs[0])
+        sim.run_until(16_000)
+        pub.stop()
+        sim.run_until(20_000)
+        # Gap ranges never extend beyond what was actually released.
+        final_lost = overlay.phb.pubends["P1"].lost_below
+        for _p, start, end in bad.stats.gap_ranges:
+            assert end < final_lost
+
+    def test_short_disconnect_within_retain_window_sees_no_gap(self):
+        sim = Scheduler()
+        overlay, good, bad, pub = build_world(sim, max_retain_ms=5_000)
+        sim.run_until(2_000)
+        bad.disconnect()
+        sim.run_until(4_000)   # 2s < maxRetain 5s
+        bad.connect(overlay.shbs[0])
+        sim.run_until(10_000)
+        pub.stop()
+        sim.run_until(12_000)
+        assert bad.stats.gaps == 0
+        assert bad.stats.events == pub.published

@@ -1,0 +1,117 @@
+"""Tests for the PHB's persistent event log."""
+
+import pytest
+
+from repro.core.events import Event
+from repro.net.simtime import Scheduler
+from repro.storage.disk import SimDisk
+from repro.storage.eventlog import PersistentEventLog
+from repro.util.errors import StorageError
+
+
+def ev(t, pubend="P1"):
+    return Event(pubend, t, {"g": t % 4})
+
+
+class TestBasics:
+    def test_append_and_get(self):
+        log = PersistentEventLog("P1")
+        log.append(ev(10))
+        assert log.get(10).timestamp == 10
+        assert log.get(11) is None
+
+    def test_wrong_pubend_rejected(self):
+        log = PersistentEventLog("P1")
+        with pytest.raises(StorageError):
+            log.append(ev(10, pubend="P2"))
+
+    def test_non_monotonic_append_rejected(self):
+        log = PersistentEventLog("P1")
+        log.append(ev(10))
+        with pytest.raises(StorageError):
+            log.append(ev(10))
+        with pytest.raises(StorageError):
+            log.append(ev(9))
+
+    def test_read_range_inclusive(self):
+        log = PersistentEventLog("P1")
+        for t in [5, 10, 15, 20]:
+            log.append(ev(t))
+        assert [e.timestamp for e in log.read_range(10, 15)] == [10, 15]
+        assert [e.timestamp for e in log.read_range(6, 19)] == [10, 15]
+        assert log.read_range(21, 30) == []
+
+    def test_max_timestamp_and_count(self):
+        log = PersistentEventLog("P1")
+        assert log.max_timestamp is None
+        log.append(ev(5))
+        log.append(ev(9))
+        assert log.max_timestamp == 9
+        assert log.live_event_count == 2
+
+    def test_bytes_logged(self):
+        log = PersistentEventLog("P1")
+        log.append(ev(5))
+        assert log.bytes_logged == ev(5).size_bytes
+
+
+class TestChop:
+    def test_chop_discards_prefix(self):
+        log = PersistentEventLog("P1")
+        for t in [5, 10, 15]:
+            log.append(ev(t))
+        assert log.chop_below(11) == 2
+        assert log.get(5) is None
+        assert log.get(15) is not None
+        assert log.chopped_below == 11
+
+    def test_chop_is_monotone(self):
+        log = PersistentEventLog("P1")
+        log.append(ev(5))
+        log.chop_below(10)
+        assert log.chop_below(8) == 0
+        assert log.chopped_below == 10
+
+    def test_append_below_chop_rejected(self):
+        log = PersistentEventLog("P1")
+        log.chop_below(100)
+        with pytest.raises(StorageError):
+            log.append(ev(50))
+
+
+class TestDurability:
+    def test_durable_callback_via_disk(self):
+        sim = Scheduler()
+        disk = SimDisk(sim, "d", sync_interval_ms=10, sync_duration_ms=20)
+        log = PersistentEventLog("P1", disk)
+        done = []
+        log.append(ev(5), on_durable=lambda: done.append(sim.now))
+        assert log.get(5) is None  # not yet durable, not yet visible
+        sim.run()
+        assert done == [pytest.approx(30.0, abs=0.1)]
+        assert log.get(5) is not None
+
+    def test_crash_loses_staged_events(self):
+        sim = Scheduler()
+        disk = SimDisk(sim, "d", sync_interval_ms=10, sync_duration_ms=20)
+        log = PersistentEventLog("P1", disk)
+        log.append(ev(5))
+        sim.run_until(5)
+        disk.crash_reset()
+        log.crash_reset()
+        sim.run()
+        assert log.get(5) is None
+        assert log.live_event_count == 0
+
+    def test_durable_events_survive_crash(self):
+        sim = Scheduler()
+        disk = SimDisk(sim, "d", sync_interval_ms=10, sync_duration_ms=20)
+        log = PersistentEventLog("P1", disk)
+        log.append(ev(5))
+        sim.run()   # durable
+        log.append(ev(6))
+        disk.crash_reset()
+        log.crash_reset()
+        sim.run()
+        assert log.get(5) is not None
+        assert log.get(6) is None

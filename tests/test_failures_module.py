@@ -1,0 +1,126 @@
+"""Tests for declarative failure injection, including link partitions."""
+
+from collections import Counter
+
+from repro import (
+    DurableSubscriber,
+    In,
+    Node,
+    PeriodicPublisher,
+    Scheduler,
+    build_chain,
+    build_two_broker,
+)
+from repro.sim.failures import FailureSchedule
+
+
+def world(sim, overlay, n_subs=4, rate=200):
+    machine = Node(sim, "clients")
+    subs = []
+    for i in range(n_subs):
+        sub = DurableSubscriber(sim, f"s{i}", machine,
+                                In("group", [i % 2, 2 + i % 2]), record_events=True)
+        sub.connect(overlay.shbs[0])
+        subs.append(sub)
+    pub = PeriodicPublisher(sim, overlay.phb, "P1", rate,
+                            attribute_fn=lambda i: {"group": i % 4})
+    pub.start()
+    return subs, pub
+
+
+def assert_exactly_once(subs, pub, matches=2):
+    counts = Counter()
+    for sub in subs:
+        assert sub.stats.order_violations == 0
+        assert sub.duplicate_events == 0
+        assert sub.stats.gaps == 0
+        for event_id in sub.received_event_ids:
+            counts[event_id] += 1
+    assert len(counts) == pub.published
+    assert all(c == matches for c in counts.values())
+
+
+class TestSchedule:
+    def test_crash_broker_records_and_fires(self):
+        sim = Scheduler()
+        overlay = build_two_broker(sim, ["P1"])
+        faults = FailureSchedule(sim)
+        faults.crash_broker(overlay.shbs[0], at_ms=1_000, down_ms=500)
+        sim.run_until(1_100)
+        assert overlay.shbs[0].node.is_down
+        sim.run_until(2_000)
+        assert not overlay.shbs[0].node.is_down
+        assert len(faults.faults_of("crash")) == 1
+
+    def test_repeated_crashes(self):
+        sim = Scheduler()
+        overlay = build_two_broker(sim, ["P1"])
+        faults = FailureSchedule(sim)
+        faults.repeated_crashes(overlay.shbs[0], 1_000, 200, 2_000, count=3)
+        assert len(faults.faults_of("crash")) == 3
+
+    def test_periodic_stall_records(self):
+        sim = Scheduler()
+        node = Node(sim, "n")
+        faults = FailureSchedule(sim)
+        faults.periodic_stall(node, period_ms=100, pause_ms=10)
+        sim.run_until(550)
+        assert len(faults.faults_of("stall")) == 5
+        faults.stop()
+        sim.run_until(2_000)
+        assert len(faults.faults_of("stall")) == 5
+
+
+class TestPartitions:
+    def test_partition_between_brokers_recovers_exactly_once(self):
+        """Knowledge lost during a broker-link partition is re-fetched
+        through the curiosity/nack path once the link heals."""
+        sim = Scheduler()
+        overlay = build_two_broker(sim, ["P1"])
+        subs, pub = world(sim, overlay)
+        faults = FailureSchedule(sim)
+        faults.partition_link(overlay.links[0], at_ms=4_000, duration_ms=2_500,
+                              name="phb-shb")
+        sim.run_until(20_000)
+        pub.stop()
+        sim.run_until(26_000)
+        assert_exactly_once(subs, pub)
+
+    def test_partition_in_chain_topology(self):
+        sim = Scheduler()
+        overlay = build_chain(sim, ["P1"], n_intermediates=1)
+        subs, pub = world(sim, overlay)
+        faults = FailureSchedule(sim)
+        # Partition the intermediate->SHB hop.
+        faults.partition_link(overlay.links[-1], at_ms=4_000, duration_ms=2_000)
+        sim.run_until(20_000)
+        pub.stop()
+        sim.run_until(26_000)
+        assert_exactly_once(subs, pub)
+
+    def test_repeated_partitions(self):
+        sim = Scheduler()
+        overlay = build_two_broker(sim, ["P1"])
+        subs, pub = world(sim, overlay)
+        faults = FailureSchedule(sim)
+        for k in range(3):
+            faults.partition_link(overlay.links[0], at_ms=3_000 + 4_000 * k,
+                                  duration_ms=1_000)
+        sim.run_until(25_000)
+        pub.stop()
+        sim.run_until(31_000)
+        assert_exactly_once(subs, pub)
+
+    def test_partition_plus_subscriber_churn(self):
+        sim = Scheduler()
+        overlay = build_two_broker(sim, ["P1"])
+        subs, pub = world(sim, overlay)
+        faults = FailureSchedule(sim)
+        faults.partition_link(overlay.links[0], at_ms=4_000, duration_ms=2_000)
+        victim = subs[0]
+        sim.at(4_500, victim.disconnect)
+        sim.at(8_000, lambda: victim.connect(overlay.shbs[0]))
+        sim.run_until(20_000)
+        pub.stop()
+        sim.run_until(26_000)
+        assert_exactly_once(subs, pub)

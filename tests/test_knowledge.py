@@ -1,0 +1,125 @@
+"""Tests for the knowledge stream consumption cursor."""
+
+import pytest
+
+from repro.core.events import Event
+from repro.core.knowledge import KnowledgeStream
+from repro.core.messages import KnowledgeUpdate
+from repro.core.ticks import Tick
+
+
+def ev(t):
+    return Event("P1", t, {"g": t % 4})
+
+
+def upd(d=(), s=(), l=()):
+    return KnowledgeUpdate("P1", d_events=[ev(t) for t in d],
+                           s_ranges=list(s), l_ranges=list(l))
+
+
+class TestAccumulate:
+    def test_wrong_pubend_rejected(self):
+        ks = KnowledgeStream("P1")
+        with pytest.raises(ValueError):
+            ks.accumulate(KnowledgeUpdate("P2"))
+
+    def test_accumulate_and_advance_in_order(self):
+        ks = KnowledgeStream("P1")
+        ks.accumulate(upd(d=[3], s=[(1, 2), (4, 5)]))
+        runs = ks.advance()
+        assert [(r.start, r.end, r.kind) for r in runs] == [
+            (1, 2, Tick.S), (3, 3, Tick.D), (4, 5, Tick.S),
+        ]
+        assert ks.consumed == 5
+
+    def test_advance_stops_at_gap(self):
+        ks = KnowledgeStream("P1")
+        ks.accumulate(upd(s=[(1, 3), (5, 9)]))
+        assert ks.consumed == 0
+        ks.advance()
+        assert ks.consumed == 3
+        ks.accumulate(upd(d=[4]))
+        runs = ks.advance()
+        assert runs[0].kind is Tick.D
+        assert ks.consumed == 9
+
+    def test_advance_with_limit(self):
+        ks = KnowledgeStream("P1")
+        ks.accumulate(upd(s=[(1, 10)]))
+        runs = ks.advance(limit=4)
+        assert runs[0].end == 4
+        assert ks.consumed == 4
+        ks.advance()
+        assert ks.consumed == 10
+
+    def test_advance_empty(self):
+        ks = KnowledgeStream("P1")
+        assert ks.advance() == []
+
+    def test_out_of_order_accumulation(self):
+        ks = KnowledgeStream("P1")
+        ks.accumulate(upd(d=[5]))
+        assert ks.advance() == []  # 1..4 unknown
+        ks.accumulate(upd(s=[(1, 4)]))
+        runs = ks.advance()
+        assert [r.kind for r in runs] == [Tick.S, Tick.D]
+
+    def test_l_ranges_extend_lost_prefix(self):
+        ks = KnowledgeStream("P1")
+        ks.accumulate(upd(l=[(1, 4)], s=[(5, 6)]))
+        runs = ks.advance()
+        assert [(r.start, r.end, r.kind) for r in runs] == [
+            (1, 4, Tick.L), (5, 6, Tick.S),
+        ]
+
+    def test_nonzero_start(self):
+        ks = KnowledgeStream("P1", consumed=100)
+        ks.accumulate(upd(s=[(90, 120)]))
+        runs = ks.advance()
+        assert runs[0].start == 101
+        assert ks.consumed == 120
+
+    def test_frontier_and_unknown(self):
+        ks = KnowledgeStream("P1")
+        ks.accumulate(upd(s=[(5, 9)]))
+        assert ks.frontier == 9
+        assert ks.unknown_up_to(9).as_tuples() == [(1, 4)]
+
+    def test_consumed_storage_forgotten(self):
+        ks = KnowledgeStream("P1")
+        ks.accumulate(upd(d=[1, 2, 3], s=[]))
+        ks.accumulate(upd(s=[(4, 5)]))
+        ks.advance()
+        assert ks.tickmap.d_count == 0
+
+
+class TestMaxTickAndHelpers:
+    def test_update_max_tick(self):
+        assert upd(d=[5], s=[(7, 9)]).max_tick() == 9
+        assert upd().max_tick() is None
+
+    def test_update_is_empty(self):
+        assert upd().is_empty()
+        assert not upd(d=[1]).is_empty()
+
+    def test_clip_update(self):
+        from repro.core.messages import clip_update
+        u = upd(d=[3, 7], s=[(1, 2), (4, 6)], l=[(0, 0)])
+        c = clip_update(u, 2, 5)
+        assert [e.timestamp for e in c.d_events] == [3]
+        assert c.s_ranges == [(2, 2), (4, 5)]
+        assert c.l_ranges == []
+
+    def test_split_update(self):
+        from repro.core.messages import split_update
+        u = upd(d=[3, 7], s=[(1, 2), (4, 6)])
+        old, new = split_update(u, 4)
+        assert [e.timestamp for e in old.d_events] == [3]
+        assert old.s_ranges == [(1, 2), (4, 4)]
+        assert [e.timestamp for e in new.d_events] == [7]
+        assert new.s_ranges == [(5, 6)]
+
+    def test_split_empty(self):
+        from repro.core.messages import split_update
+        old, new = split_update(upd(), 5)
+        assert old.is_empty() and new.is_empty()

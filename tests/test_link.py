@@ -1,0 +1,129 @@
+"""Tests for FIFO links: ordering, latency, loss on crash/sever."""
+
+import pytest
+
+from repro.net.link import Link
+from repro.net.node import Node
+from repro.net.simtime import Scheduler
+
+
+@pytest.fixture
+def env():
+    sim = Scheduler()
+    a = Node(sim, "a")
+    b = Node(sim, "b")
+    link = Link(sim, a, b, latency_ms=2.0)
+    return sim, a, b, link
+
+
+def _collect(link_end, cost=0.1):
+    inbox = []
+    link_end.on_receive(inbox.append, lambda _m: cost)
+    return inbox
+
+
+class TestDelivery:
+    def test_message_arrives_after_latency_plus_service(self, env):
+        sim, a, b, link = env
+        inbox = []
+        times = []
+        link.a_to_b.on_receive(lambda m: (inbox.append(m), times.append(sim.now)), lambda _m: 1.0)
+        link.a_to_b.send("hello")
+        sim.run()
+        assert inbox == ["hello"]
+        assert times == [3.0]  # 2ms latency + 1ms receive service
+
+    def test_fifo_order_preserved(self, env):
+        sim, a, b, link = env
+        inbox = _collect(link.a_to_b)
+        for i in range(10):
+            link.a_to_b.send(i)
+        sim.run()
+        assert inbox == list(range(10))
+
+    def test_bidirectional(self, env):
+        sim, a, b, link = env
+        to_b = _collect(link.a_to_b)
+        to_a = _collect(link.b_to_a)
+        link.a_to_b.send("x")
+        link.b_to_a.send("y")
+        sim.run()
+        assert to_b == ["x"]
+        assert to_a == ["y"]
+
+    def test_end_for_sender(self, env):
+        sim, a, b, link = env
+        assert link.end_for_sender(a) is link.a_to_b
+        assert link.end_for_sender(b) is link.b_to_a
+        with pytest.raises(ValueError):
+            link.end_for_sender(Node(sim, "c"))
+
+    def test_counters(self, env):
+        sim, a, b, link = env
+        _collect(link.a_to_b)
+        link.a_to_b.send("x")
+        sim.run()
+        assert link.a_to_b.sent == 1
+        assert link.a_to_b.delivered == 1
+        assert link.a_to_b.dropped == 0
+
+
+class TestLoss:
+    def test_send_to_down_receiver_dropped(self, env):
+        sim, a, b, link = env
+        inbox = _collect(link.a_to_b)
+        b.crash()
+        link.a_to_b.send("x")
+        sim.run()
+        assert inbox == []
+        assert link.a_to_b.dropped == 1
+
+    def test_in_flight_message_lost_when_receiver_crashes(self, env):
+        sim, a, b, link = env
+        inbox = _collect(link.a_to_b)
+        link.a_to_b.send("x")
+        sim.run_until(1)   # still in flight (latency 2ms)
+        b.crash()
+        sim.run()
+        assert inbox == []
+
+    def test_message_after_recovery_delivered(self, env):
+        sim, a, b, link = env
+        inbox = _collect(link.a_to_b)
+        b.crash()
+        link.a_to_b.send("lost")
+        b.recover()
+        link.a_to_b.send("kept")
+        sim.run()
+        assert inbox == ["kept"]
+
+    def test_severed_link_drops(self, env):
+        sim, a, b, link = env
+        inbox = _collect(link.a_to_b)
+        link.sever()
+        link.a_to_b.send("x")
+        sim.run()
+        assert inbox == []
+
+    def test_restore_after_sever(self, env):
+        sim, a, b, link = env
+        inbox = _collect(link.a_to_b)
+        link.sever()
+        link.restore()
+        link.a_to_b.send("x")
+        sim.run()
+        assert inbox == ["x"]
+
+    def test_disconnect_listener_on_crash(self, env):
+        sim, a, b, link = env
+        events = []
+        link.on_disconnect(lambda: events.append("down"))
+        b.crash()
+        assert events == ["down"]
+
+    def test_disconnect_listener_on_sever(self, env):
+        sim, a, b, link = env
+        events = []
+        link.on_disconnect(lambda: events.append("down"))
+        link.sever()
+        assert events == ["down"]

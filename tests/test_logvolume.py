@@ -1,0 +1,207 @@
+"""Tests for the Log Volume (memory and real-file backends)."""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.logvolume import FileBackend, LogVolume
+from repro.util.errors import RecordNotFoundError
+
+
+class TestMemoryVolume:
+    def test_append_assigns_monotonic_indexes(self):
+        stream = LogVolume.in_memory().stream("s1")
+        assert stream.append(b"a") == 0
+        assert stream.append(b"b") == 1
+        assert stream.append(b"c") == 2
+
+    def test_read_returns_record(self):
+        stream = LogVolume.in_memory().stream("s1")
+        stream.append(b"hello")
+        assert stream.read(0) == b"hello"
+
+    def test_read_range(self):
+        stream = LogVolume.in_memory().stream("s1")
+        for i in range(5):
+            stream.append(bytes([i]))
+        assert stream.read_range(1, 3) == [b"\x01", b"\x02", b"\x03"]
+
+    def test_streams_are_independent(self):
+        vol = LogVolume.in_memory()
+        s1, s2 = vol.stream("a"), vol.stream("b")
+        s1.append(b"one")
+        s2.append(b"two")
+        assert s1.read(0) == b"one"
+        assert s2.read(0) == b"two"
+
+    def test_stream_is_cached_by_name(self):
+        vol = LogVolume.in_memory()
+        assert vol.stream("x") is vol.stream("x")
+
+    def test_chop_discards_prefix(self):
+        stream = LogVolume.in_memory().stream("s1")
+        for i in range(5):
+            stream.append(bytes([i]))
+        stream.chop(2)
+        with pytest.raises(RecordNotFoundError):
+            stream.read(2)
+        assert stream.read(3) == b"\x03"
+        assert len(stream) == 2
+
+    def test_chop_is_idempotent_and_monotone(self):
+        stream = LogVolume.in_memory().stream("s1")
+        for i in range(5):
+            stream.append(bytes([i]))
+        stream.chop(3)
+        stream.chop(1)  # already chopped further; no-op
+        assert stream.chopped_below == 4
+
+    def test_read_past_end_raises(self):
+        stream = LogVolume.in_memory().stream("s1")
+        with pytest.raises(RecordNotFoundError):
+            stream.read(0)
+
+    def test_crash_truncate_discards_tail(self):
+        stream = LogVolume.in_memory().stream("s1")
+        for i in range(5):
+            stream.append(bytes([i]))
+        stream.crash_truncate(3)
+        assert stream.next_index == 3
+        assert stream.read(2) == b"\x02"
+        with pytest.raises(RecordNotFoundError):
+            stream.read(3)
+        # New appends reuse the truncated indexes.
+        assert stream.append(b"new") == 3
+
+    def test_bytes_appended(self):
+        vol = LogVolume.in_memory()
+        vol.stream("s").append(b"12345")
+        assert vol.bytes_appended == 5
+
+
+class TestFileVolume:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "vol.log")
+        vol = LogVolume.at_path(path, fsync=False)
+        stream = vol.stream("s1")
+        for i in range(10):
+            stream.append(f"record-{i}".encode())
+        vol.flush()
+        assert stream.read(3) == b"record-3"
+        vol.close()
+
+    def test_recovery_rebuilds_streams(self, tmp_path):
+        path = str(tmp_path / "vol.log")
+        vol = LogVolume.at_path(path, fsync=False)
+        s1 = vol.stream("alpha")
+        s2 = vol.stream("beta")
+        for i in range(5):
+            s1.append(f"a{i}".encode())
+            s2.append(f"b{i}".encode())
+        vol.flush()
+        vol.close()
+
+        # Reopen: streams must be created in the same order.
+        vol2 = LogVolume.at_path(path, fsync=False)
+        r1 = vol2.stream("alpha")
+        r2 = vol2.stream("beta")
+        assert r1.next_index == 5
+        assert r2.read(4) == b"b4"
+        assert r1.read(0) == b"a0"
+        vol2.close()
+
+    def test_recovery_applies_chops(self, tmp_path):
+        path = str(tmp_path / "vol.log")
+        vol = LogVolume.at_path(path, fsync=False)
+        stream = vol.stream("s")
+        for i in range(6):
+            stream.append(bytes([i]))
+        stream.chop(2)
+        vol.flush()
+        vol.close()
+
+        vol2 = LogVolume.at_path(path, fsync=False)
+        stream2 = vol2.stream("s")
+        assert stream2.chopped_below == 3
+        with pytest.raises(RecordNotFoundError):
+            stream2.read(1)
+        assert stream2.read(4) == b"\x04"
+        vol2.close()
+
+    def test_torn_tail_truncated_on_recovery(self, tmp_path):
+        path = str(tmp_path / "vol.log")
+        vol = LogVolume.at_path(path, fsync=False)
+        stream = vol.stream("s")
+        for i in range(5):
+            stream.append(f"rec{i}".encode())
+        vol.flush()
+        vol.close()
+
+        # Corrupt the file by truncating mid-record.
+        size = os.path.getsize(path)
+        with open(path, "r+b") as f:
+            f.truncate(size - 3)
+
+        vol2 = LogVolume.at_path(path, fsync=False)
+        stream2 = vol2.stream("s")
+        assert stream2.next_index == 4  # last record lost
+        assert stream2.read(3) == b"rec3"
+        # Appends continue from the recovered index.
+        assert stream2.append(b"rec4b") == 4
+        vol2.close()
+
+    def test_corrupt_payload_detected(self, tmp_path):
+        path = str(tmp_path / "vol.log")
+        vol = LogVolume.at_path(path, fsync=False)
+        stream = vol.stream("s")
+        stream.append(b"AAAA")
+        stream.append(b"BBBB")
+        vol.flush()
+        vol.close()
+        # Flip a payload byte of the *last* record: CRC check must drop it.
+        with open(path, "r+b") as f:
+            f.seek(-1, os.SEEK_END)
+            f.write(b"X")
+        vol2 = LogVolume.at_path(path, fsync=False)
+        assert vol2.stream("s").next_index == 1
+        vol2.close()
+
+    def test_flush_counts(self, tmp_path):
+        path = str(tmp_path / "vol.log")
+        vol = LogVolume.at_path(path, fsync=False)
+        vol.stream("s").append(b"x")
+        vol.flush()
+        vol.flush()
+        assert vol._backend.flush_count == 2  # type: ignore[attr-defined]
+        vol.close()
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2), st.binary(min_size=0, max_size=40)),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_file_volume_roundtrip_property(tmp_path_factory, records):
+    """Whatever is appended before a flush is readable after reopen."""
+    path = str(tmp_path_factory.mktemp("lv") / "vol.log")
+    vol = LogVolume.at_path(path, fsync=False)
+    streams = [vol.stream(f"s{i}") for i in range(3)]
+    expected = {0: [], 1: [], 2: []}
+    for sid, payload in records:
+        streams[sid].append(payload)
+        expected[sid].append(payload)
+    vol.flush()
+    vol.close()
+
+    vol2 = LogVolume.at_path(path, fsync=False)
+    for sid in range(3):
+        stream = vol2.stream(f"s{sid}")
+        assert stream.next_index == len(expected[sid])
+        for i, payload in enumerate(expected[sid]):
+            assert stream.read(i) == payload
+    vol2.close()

@@ -1,0 +1,202 @@
+"""Tests for the subscription language and matching engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.engine import MatchingEngine
+from repro.matching.predicates import (
+    And, Between, Eq, Everything, Exists, Ge, Gt, In, Le, Lt, Ne, Not,
+    Nothing, Or, Prefix,
+)
+from repro.matching.topics import TOPIC_ATTR, Topic, topic_pattern_matches
+
+
+class TestPredicates:
+    def test_eq(self):
+        p = Eq("g", 3)
+        assert p.matches({"g": 3})
+        assert not p.matches({"g": 4})
+        assert not p.matches({})
+
+    def test_in(self):
+        p = In("g", [1, 3])
+        assert p.matches({"g": 1}) and p.matches({"g": 3})
+        assert not p.matches({"g": 2})
+
+    def test_ne_requires_presence(self):
+        p = Ne("g", 3)
+        assert p.matches({"g": 4})
+        assert not p.matches({"g": 3})
+        assert not p.matches({})
+
+    def test_comparisons(self):
+        assert Lt("x", 5).matches({"x": 4})
+        assert not Lt("x", 5).matches({"x": 5})
+        assert Le("x", 5).matches({"x": 5})
+        assert Gt("x", 5).matches({"x": 6})
+        assert Ge("x", 5).matches({"x": 5})
+        assert not Gt("x", 5).matches({})
+
+    def test_comparison_type_mismatch_is_false(self):
+        assert not Gt("x", 5).matches({"x": "str"})
+
+    def test_invalid_operator_rejected(self):
+        from repro.matching.predicates import Cmp
+        with pytest.raises(ValueError):
+            Cmp("x", "!=", 5)
+
+    def test_between(self):
+        p = Between("x", 2, 5)
+        assert p.matches({"x": 2}) and p.matches({"x": 5})
+        assert not p.matches({"x": 1}) and not p.matches({"x": 6})
+
+    def test_exists(self):
+        assert Exists("x").matches({"x": None})
+        assert not Exists("x").matches({"y": 1})
+
+    def test_prefix(self):
+        p = Prefix("sym", "IBM")
+        assert p.matches({"sym": "IBM.N"})
+        assert not p.matches({"sym": "MSFT"})
+        assert not p.matches({"sym": 42})
+
+    def test_and_or_not(self):
+        p = (Eq("a", 1) & Gt("b", 5)) | ~Exists("c")
+        assert p.matches({"a": 1, "b": 6})
+        assert p.matches({"a": 2})          # no c -> Not(Exists) true
+        assert not p.matches({"a": 2, "c": 1})
+
+    def test_everything_nothing(self):
+        assert Everything().matches({})
+        assert not Nothing().matches({"any": 1})
+
+    def test_indexable_equalities(self):
+        assert Eq("g", 1).indexable_equalities() == ("g", frozenset([1]))
+        assert In("g", [1, 2]).indexable_equalities() == ("g", frozenset([1, 2]))
+        assert Gt("g", 1).indexable_equalities() is None
+        assert And([Gt("x", 1), Eq("g", 2)]).indexable_equalities() == ("g", frozenset([2]))
+        assert Or([Eq("g", 1), Eq("g", 2)]).indexable_equalities() == ("g", frozenset([1, 2]))
+        assert Or([Eq("g", 1), Eq("h", 2)]).indexable_equalities() is None
+        assert Or([Eq("g", 1), Gt("g", 5)]).indexable_equalities() is None
+
+
+class TestTopics:
+    def test_literal_match(self):
+        assert topic_pattern_matches("a.b.c", "a.b.c")
+        assert not topic_pattern_matches("a.b.c", "a.b")
+        assert not topic_pattern_matches("a.b", "a.b.c")
+
+    def test_star_matches_one_segment(self):
+        assert topic_pattern_matches("a.*.c", "a.b.c")
+        assert not topic_pattern_matches("a.*.c", "a.b.d")
+        assert not topic_pattern_matches("a.*", "a.b.c")
+
+    def test_hash_matches_tail(self):
+        assert topic_pattern_matches("a.#", "a.b.c")
+        # '#' matches zero or more segments, so the bare prefix matches too.
+        assert topic_pattern_matches("a.#", "a")
+        assert topic_pattern_matches("#", "x.y")
+        assert not topic_pattern_matches("a.#", "b.c")
+
+    def test_hash_only_final(self):
+        with pytest.raises(ValueError):
+            Topic("a.#.c")
+
+    def test_topic_predicate(self):
+        p = Topic("trades.nyse.*")
+        assert p.matches({TOPIC_ATTR: "trades.nyse.IBM"})
+        assert not p.matches({TOPIC_ATTR: "trades.nasdaq.MSFT"})
+        assert not p.matches({})
+
+    def test_literal_topic_is_indexable(self):
+        assert Topic("a.b").indexable_equalities() == (TOPIC_ATTR, frozenset(["a.b"]))
+        assert Topic("a.*").indexable_equalities() is None
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(ValueError):
+            Topic("a..b")
+
+
+class TestEngine:
+    def test_match_returns_matching_ids(self):
+        eng = MatchingEngine()
+        eng.add("s1", Eq("g", 1))
+        eng.add("s2", Eq("g", 2))
+        eng.add("s3", In("g", [1, 2]))
+        assert eng.match({"g": 1}) == {"s1", "s3"}
+        assert eng.match({"g": 2}) == {"s2", "s3"}
+        assert eng.match({"g": 3}) == set()
+
+    def test_scan_fallback_for_unindexable(self):
+        eng = MatchingEngine()
+        eng.add("s1", Gt("price", 100))
+        assert eng.match({"price": 150}) == {"s1"}
+        assert eng.match({"price": 50}) == set()
+
+    def test_mixed_index_and_scan(self):
+        eng = MatchingEngine()
+        eng.add("idx", Eq("g", 1))
+        eng.add("scan", Everything())
+        assert eng.match({"g": 1}) == {"idx", "scan"}
+        assert eng.match({"g": 9}) == {"scan"}
+
+    def test_matches_any_short_circuits(self):
+        eng = MatchingEngine()
+        eng.add("s1", Eq("g", 1))
+        assert eng.matches_any({"g": 1})
+        assert not eng.matches_any({"g": 2})
+
+    def test_remove(self):
+        eng = MatchingEngine()
+        eng.add("s1", Eq("g", 1))
+        eng.remove("s1")
+        assert eng.match({"g": 1}) == set()
+        assert "s1" not in eng
+        eng.remove("s1")  # idempotent
+
+    def test_replace_subscription(self):
+        eng = MatchingEngine()
+        eng.add("s1", Eq("g", 1))
+        eng.add("s1", Eq("g", 2))
+        assert eng.match({"g": 1}) == set()
+        assert eng.match({"g": 2}) == {"s1"}
+        assert len(eng) == 1
+
+    def test_matches_subscription(self):
+        eng = MatchingEngine()
+        eng.add("s1", Eq("g", 1))
+        assert eng.matches_subscription("s1", {"g": 1})
+        assert not eng.matches_subscription("s1", {"g": 2})
+        assert not eng.matches_subscription("nope", {"g": 1})
+
+
+# ---------------------------------------------------------------------------
+# Property: indexed engine agrees with naive evaluation
+# ---------------------------------------------------------------------------
+_preds = st.one_of(
+    st.builds(Eq, st.just("g"), st.integers(0, 5)),
+    st.builds(lambda vs: In("g", vs), st.lists(st.integers(0, 5), min_size=1, max_size=3)),
+    st.builds(Gt, st.just("x"), st.integers(0, 5)),
+    st.builds(lambda a, b: And([Eq("g", a), Gt("x", b)]), st.integers(0, 5), st.integers(0, 5)),
+    st.just(Everything()),
+)
+
+
+@given(
+    st.lists(_preds, min_size=1, max_size=12),
+    st.lists(
+        st.fixed_dictionaries({"g": st.integers(0, 6), "x": st.integers(0, 6)}),
+        min_size=1,
+        max_size=10,
+    ),
+)
+@settings(max_examples=100)
+def test_engine_agrees_with_naive_matching(preds, events):
+    eng = MatchingEngine()
+    for i, p in enumerate(preds):
+        eng.add(f"s{i}", p)
+    for attrs in events:
+        expected = {f"s{i}" for i, p in enumerate(preds) if p.matches(attrs)}
+        assert eng.match(attrs) == expected
+        assert eng.matches_any(attrs) == bool(expected)

@@ -1,0 +1,119 @@
+"""Tests for metric collection and reporting helpers."""
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.report import format_series, format_table, percentile, summarize_series
+from repro.net.node import Node
+from repro.net.simtime import Scheduler
+from repro.util.rate import BusyTracker, GaugeRate, RateCounter, Series
+
+
+class TestRateHelpers:
+    def test_rate_counter_window_rate(self):
+        c = RateCounter("x")
+        c.record(10)
+        assert c.rate(1_000.0) == pytest.approx(10.0)
+        c.record(5)
+        assert c.rate(2_000.0) == pytest.approx(5.0)
+        assert c.total == 15
+
+    def test_rate_counter_zero_window(self):
+        c = RateCounter("x")
+        c.record()
+        assert c.rate(0.0) == 0.0
+
+    def test_gauge_rate(self):
+        g = GaugeRate("ld")
+        assert g.sample(0.0, 100.0) == 0.0  # first sample: no window
+        assert g.sample(1_000.0, 1_100.0) == pytest.approx(1_000.0)
+        assert g.sample(2_000.0, 1_600.0) == pytest.approx(500.0)
+
+    def test_busy_tracker(self):
+        b = BusyTracker()
+        b.add_busy(250.0)
+        assert b.idle_fraction(1_000.0) == pytest.approx(0.75)
+        assert b.idle_fraction(2_000.0) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            b.add_busy(-1.0)
+
+    def test_series_reductions(self):
+        s = Series("x")
+        for t, v in [(0, 1.0), (1, 3.0), (2, 5.0)]:
+            s.append(t, v)
+        assert s.mean() == 3.0
+        assert s.min() == 1.0
+        assert s.max() == 5.0
+        assert len(s.between(1, 2)) == 2
+
+
+class TestCollector:
+    def test_gauge_and_counter_rate_sampling(self):
+        sim = Scheduler()
+        col = MetricsCollector(sim, interval_ms=100.0)
+        state = {"count": 0, "gauge": 0.0}
+        sim.every(10, lambda: state.__setitem__("count", state["count"] + 1))
+        col.gauge("g", lambda: state["count"])
+        col.counter_rate("r", lambda: float(state["count"]))
+        col.start()
+        sim.run_until(1_000)
+        g = col.get("g")
+        assert len(g) == 10
+        assert g.values()[-1] == pytest.approx(100, abs=2)
+        r = col.get("r")
+        # ~1 increment per 10ms = 100/s.
+        assert r.values()[-1] == pytest.approx(100.0, rel=0.1)
+
+    def test_cpu_idle_probe(self):
+        sim = Scheduler()
+        node = Node(sim, "n")
+        col = MetricsCollector(sim, interval_ms=100.0)
+        col.cpu_idle("idle", node)
+        col.start()
+        sim.every(10, lambda: node.try_submit(5.0, lambda: None))
+        sim.run_until(1_000)
+        idle = col.get("idle")
+        assert idle.values()[-1] == pytest.approx(0.5, abs=0.1)
+
+    def test_stop(self):
+        sim = Scheduler()
+        col = MetricsCollector(sim, interval_ms=100.0)
+        col.gauge("g", lambda: 1.0)
+        col.start()
+        sim.run_until(250)
+        col.stop()
+        sim.run_until(1_000)
+        assert len(col.get("g")) == 2
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table("Title", ["a", "bee"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0] == "Title"
+        assert "a" in lines[2] and "bee" in lines[2]
+        assert len(lines) == 6
+
+    def test_summarize_series(self):
+        s = Series("x")
+        for i in range(10):
+            s.append(i, float(i))
+        summary = summarize_series(s, skip_warmup=2)
+        assert summary["n"] == 8
+        assert summary["min"] == 2.0
+        assert summarize_series(Series("empty"))["n"] == 0
+
+    def test_format_series_downsamples(self):
+        s = Series("x")
+        for i in range(10):
+            s.append(i * 1000.0, float(i))
+        out = format_series(s, every=2)
+        assert out.count("t=") == 5
+
+    def test_percentile(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 99) == 99
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 100
+        assert percentile([], 50) == 0.0

@@ -1,0 +1,229 @@
+"""Tests for the Persistent Filtering Subsystem.
+
+The reference semantics (Section 4.2): the PFS stores, per pubend, one
+record per timestamp that is Q for at least one subscriber; a batch
+read for subscriber s after timestamp a returns the oldest
+``buffer_qs`` Q ticks in ``(a, lastTimestamp]`` with everything else in
+the covered span S.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.simtime import Scheduler
+from repro.pfs.pfs import PersistentFilteringSubsystem
+from repro.storage.disk import SimDisk
+from repro.storage.logvolume import LogVolume
+from repro.util.errors import StorageError
+
+
+def make_pfs():
+    return PersistentFilteringSubsystem()
+
+
+class TestWrite:
+    def test_write_returns_record_size(self):
+        pfs = make_pfs()
+        assert pfs.write("P1", 10, [1, 2, 3]) == 8 + 16 * 3
+        assert pfs.bytes_written == 56
+
+    def test_write_below_chop_rejected(self):
+        pfs = make_pfs()
+        pfs.write("P1", 10, [1])
+        pfs.chop_below("P1", 15)
+        with pytest.raises(StorageError):
+            pfs.write("P1", 12, [1])
+
+    def test_replay_write_is_idempotent(self):
+        """Post-crash constream replay re-writes known records."""
+        pfs = make_pfs()
+        pfs.write("P1", 10, [1])
+        pfs.write("P1", 20, [1])
+        fired = []
+        assert pfs.write("P1", 10, [1], on_durable=lambda: fired.append(True)) == 0
+        assert fired == [True]
+        assert pfs.last_timestamp("P1") == 20
+
+    def test_empty_subscriber_list_rejected(self):
+        with pytest.raises(ValueError):
+            make_pfs().write("P1", 10, [])
+
+    def test_pubends_are_independent(self):
+        pfs = make_pfs()
+        pfs.write("P1", 10, [1])
+        pfs.write("P2", 5, [2])  # lower timestamp fine on another pubend
+        assert pfs.last_timestamp("P1") == 10
+        assert pfs.last_timestamp("P2") == 5
+
+    def test_durability_via_disk(self):
+        sim = Scheduler()
+        disk = SimDisk(sim, "d", sync_interval_ms=5, sync_duration_ms=10)
+        pfs = PersistentFilteringSubsystem(disk=disk)
+        fired = []
+        pfs.write("P1", 10, [1], on_durable=lambda: fired.append(sim.now))
+        assert fired == []
+        sim.run()
+        assert len(fired) == 1
+
+
+class TestReadBatch:
+    def test_q_and_s_semantics(self):
+        pfs = make_pfs()
+        pfs.write("P1", 10, [1, 2])
+        pfs.write("P1", 20, [2])
+        pfs.write("P1", 30, [1])
+        result = pfs.read_batch("P1", 1, after=0)
+        assert result.q_ticks == [10, 30]
+        assert result.covered_to == 30
+        assert result.reached_last_timestamp
+
+        result2 = pfs.read_batch("P1", 2, after=0)
+        assert result2.q_ticks == [10, 20]
+        assert result2.covered_to == 30  # ticks (20, 30] are S for sub 2
+
+    def test_after_excludes_earlier_ticks(self):
+        pfs = make_pfs()
+        for t in (10, 20, 30):
+            pfs.write("P1", t, [1])
+        result = pfs.read_batch("P1", 1, after=10)
+        assert result.q_ticks == [20, 30]
+
+    def test_unknown_subscriber_reads_all_s(self):
+        pfs = make_pfs()
+        pfs.write("P1", 10, [1])
+        result = pfs.read_batch("P1", 99, after=0)
+        assert result.q_ticks == []
+        assert result.covered_to == 10
+
+    def test_buffer_overflow_keeps_oldest(self):
+        pfs = make_pfs()
+        for t in range(10, 110, 10):
+            pfs.write("P1", t, [1])
+        result = pfs.read_batch("P1", 1, after=0, buffer_qs=4)
+        assert result.q_ticks == [10, 20, 30, 40]
+        assert result.covered_to == 40
+        assert not result.reached_last_timestamp
+        # Continue from covered_to: next oldest batch.
+        result2 = pfs.read_batch("P1", 1, after=result.covered_to, buffer_qs=4)
+        assert result2.q_ticks == [50, 60, 70, 80]
+
+    def test_records_visited_counts_chain_walk(self):
+        pfs = make_pfs()
+        for t in range(10, 60, 10):
+            pfs.write("P1", t, [1])
+        result = pfs.read_batch("P1", 1, after=0)
+        assert result.records_visited == 5
+
+    def test_reads_reaching_last_statistics(self):
+        pfs = make_pfs()
+        for t in range(10, 110, 10):
+            pfs.write("P1", t, [1])
+        pfs.read_batch("P1", 1, after=0, buffer_qs=100)
+        pfs.read_batch("P1", 1, after=0, buffer_qs=2)
+        assert pfs.reads == 2
+        assert pfs.reads_reaching_last == 1
+
+
+class TestChop:
+    def test_chop_discards_old_records(self):
+        pfs = make_pfs()
+        for t in (10, 20, 30, 40):
+            pfs.write("P1", t, [1])
+        assert pfs.chop_below("P1", 25) == 2
+        result = pfs.read_batch("P1", 1, after=0)
+        assert result.q_ticks == [30, 40]
+        assert result.known_from == 25
+
+    def test_chop_idempotent(self):
+        pfs = make_pfs()
+        pfs.write("P1", 10, [1])
+        pfs.chop_below("P1", 15)
+        assert pfs.chop_below("P1", 15) == 0
+        assert pfs.chop_below("P1", 12) == 0
+
+    def test_backpointer_chain_stops_at_chop(self):
+        pfs = make_pfs()
+        for t in (10, 20, 30):
+            pfs.write("P1", t, [1])
+        pfs.chop_below("P1", 15)
+        result = pfs.read_batch("P1", 1, after=0)
+        assert result.q_ticks == [20, 30]
+
+    def test_writes_continue_after_chop(self):
+        pfs = make_pfs()
+        pfs.write("P1", 10, [1])
+        pfs.chop_below("P1", 15)
+        pfs.write("P1", 20, [1])
+        result = pfs.read_batch("P1", 1, after=15)
+        assert result.q_ticks == [20]
+
+
+class TestCrashRecovery:
+    def test_unsynced_records_lost(self):
+        sim = Scheduler()
+        disk = SimDisk(sim, "d", sync_interval_ms=5, sync_duration_ms=10)
+        pfs = PersistentFilteringSubsystem(disk=disk)
+        pfs.write("P1", 10, [1])
+        sim.run()  # durable
+        pfs.write("P1", 20, [1])  # staged
+        disk.crash_reset()
+        pfs.crash_reset()
+        assert pfs.last_timestamp("P1") == 10
+        result = pfs.read_batch("P1", 1, after=0)
+        assert result.q_ticks == [10]
+
+    def test_recovery_rebuilds_metadata(self):
+        sim = Scheduler()
+        disk = SimDisk(sim, "d", sync_interval_ms=5, sync_duration_ms=10)
+        pfs = PersistentFilteringSubsystem(disk=disk)
+        pfs.write("P1", 10, [1, 2])
+        pfs.write("P1", 20, [2])
+        sim.run()
+        pfs.crash_reset()
+        assert pfs.last_timestamp("P1") == 20
+        assert pfs.read_batch("P1", 1, after=0).q_ticks == [10]
+        assert pfs.read_batch("P1", 2, after=0).q_ticks == [10, 20]
+        # Writes resume seamlessly.
+        pfs.write("P1", 30, [1])
+        assert pfs.read_batch("P1", 1, after=0).q_ticks == [10, 30]
+
+
+# ---------------------------------------------------------------------------
+# Property test: PFS batch reads agree with a naive model
+# ---------------------------------------------------------------------------
+@given(
+    st.lists(  # writes: (timestamp gap, subset of 4 subscribers)
+        st.tuples(st.integers(1, 5), st.sets(st.integers(0, 3), min_size=1, max_size=4)),
+        min_size=1,
+        max_size=40,
+    ),
+    st.integers(0, 3),       # which subscriber reads
+    st.integers(0, 60),      # read 'after'
+    st.integers(1, 10),      # buffer size
+)
+@settings(max_examples=150, deadline=None)
+def test_read_matches_naive_model(writes, sub, after, buffer_qs):
+    pfs = make_pfs()
+    t = 0
+    model = []  # (timestamp, set of subs)
+    for gap, subs in writes:
+        t += gap
+        pfs.write("P1", t, sorted(subs))
+        model.append((t, subs))
+    result = pfs.read_batch("P1", sub, after=after, buffer_qs=buffer_qs)
+    expected_all = [ts for ts, subs in model if ts > after and sub in subs]
+    expected = expected_all[:buffer_qs]
+    assert result.q_ticks == expected
+    if len(expected_all) <= buffer_qs:
+        assert result.reached_last_timestamp
+        # The covered span is (after, lastTimestamp]; when 'after' is
+        # already past the last record the span is empty.
+        assert result.covered_to == max(t, after)
+    else:
+        assert not result.reached_last_timestamp
+        assert result.covered_to == expected[-1]
+    # No Q tick for this subscriber hides inside the covered span.
+    for ts, subs in model:
+        if after < ts <= result.covered_to and sub in subs:
+            assert ts in result.q_ticks

@@ -1,0 +1,69 @@
+"""Tests for the PFS record codec (footnote 2: 8 + 16n bytes)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pfs.records import NO_PREVIOUS, PFSRecord
+from repro.util.errors import CorruptLogError
+
+
+class TestRecord:
+    def test_size_is_8_plus_16n(self):
+        for n in (1, 2, 25, 100):
+            record = PFSRecord(42, tuple((i, NO_PREVIOUS) for i in range(n)))
+            assert record.size_bytes == 8 + 16 * n
+            assert len(record.encode()) == 8 + 16 * n
+
+    def test_roundtrip(self):
+        record = PFSRecord(1234, ((1, NO_PREVIOUS), (7, 55)))
+        decoded = PFSRecord.decode(record.encode())
+        assert decoded == record
+
+    def test_subscribers_and_backpointers(self):
+        record = PFSRecord(9, ((3, 10), (5, NO_PREVIOUS)))
+        assert record.subscribers() == [3, 5]
+        assert record.prev_index_of(3) == 10
+        assert record.prev_index_of(5) == NO_PREVIOUS
+        assert record.prev_index_of(99) is None
+
+    def test_build_pulls_backpointers(self):
+        last_index = {3: 17}
+        record = PFSRecord.build(100, [5, 3], last_index)
+        assert record.prev_index_of(3) == 17
+        assert record.prev_index_of(5) == NO_PREVIOUS
+        # entries are sorted by subscriber number
+        assert record.subscribers() == [3, 5]
+
+    def test_build_requires_matches(self):
+        with pytest.raises(ValueError):
+            PFSRecord.build(100, [], {})
+
+    def test_decode_rejects_bad_length(self):
+        with pytest.raises(CorruptLogError):
+            PFSRecord.decode(b"\x00" * 11)
+        with pytest.raises(CorruptLogError):
+            PFSRecord.decode(b"\x00" * 4)
+
+    def test_negative_timestamps_roundtrip(self):
+        # Timestamps are signed in the frame; protocol uses >= 0 but the
+        # codec must not corrupt edge values.
+        record = PFSRecord(-1, ((0, NO_PREVIOUS),))
+        assert PFSRecord.decode(record.encode()).timestamp == -1
+
+
+@given(
+    st.integers(0, 2**40),
+    st.lists(
+        st.tuples(st.integers(0, 2**20), st.integers(-1, 2**30)),
+        min_size=1,
+        max_size=40,
+        unique_by=lambda e: e[0],
+    ),
+)
+@settings(max_examples=100)
+def test_codec_roundtrip_property(timestamp, entries):
+    record = PFSRecord(timestamp, tuple(entries))
+    data = record.encode()
+    assert len(data) == 8 + 16 * len(entries)
+    assert PFSRecord.decode(data) == record

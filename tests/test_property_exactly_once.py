@@ -1,0 +1,120 @@
+"""Property-based end-to-end test: exactly-once under random schedules.
+
+Hypothesis generates arbitrary interleavings of subscriber
+disconnect/reconnect periods and SHB crash windows; after the system
+quiesces, every subscriber must have received every matching event
+exactly once, in order, with no gaps (no early release configured).
+
+This is the library's headline invariant (Section 2's guarantee), so it
+gets the adversarial treatment.
+"""
+
+from collections import Counter
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    DurableSubscriber,
+    In,
+    Node,
+    PeriodicPublisher,
+    Scheduler,
+    build_two_broker,
+)
+
+# A subscriber schedule: list of (disconnect_at, down_duration) pairs.
+sub_schedule = st.lists(
+    st.tuples(st.integers(500, 8_000), st.integers(50, 3_000)),
+    max_size=3,
+)
+
+# Optional SHB crash: (crash_at, down_duration).
+shb_crash = st.one_of(
+    st.none(),
+    st.tuples(st.integers(1_000, 8_000), st.integers(100, 3_000)),
+)
+
+
+@given(
+    schedules=st.lists(sub_schedule, min_size=1, max_size=3),
+    crash=shb_crash,
+    rate=st.sampled_from([50, 120, 200]),
+)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_exactly_once_under_random_churn_and_crashes(schedules, crash, rate):
+    sim = Scheduler()
+    overlay = build_two_broker(sim, ["P1"])
+    shb = overlay.shbs[0]
+    machine = Node(sim, "clients")
+
+    subs = []
+    for i in range(len(schedules)):
+        sub = DurableSubscriber(
+            sim, f"s{i}", machine, In("group", [i % 2, 2 + i % 2]),
+            record_events=True,
+        )
+        sub.connect(shb)
+        subs.append(sub)
+
+    pub = PeriodicPublisher(sim, overlay.phb, "P1", rate,
+                            attribute_fn=lambda i: {"group": i % 4})
+    pub.start()
+
+    # Install the random schedules.  Reconnects are retried while the
+    # SHB is down (a real client would also retry).
+    def try_reconnect(sub):
+        if not sub.connected:
+            if shb.node.is_down:
+                sim.after(500, try_reconnect, sub)
+            else:
+                sub.connect(shb)
+
+    horizon = 10_000
+    for sub, schedule in zip(subs, schedules):
+        t = 0
+        for start, down in schedule:
+            t = max(t + 200, start)
+            sim.at(t, lambda s=sub: s.disconnect() if s.connected else None)
+            sim.at(t + down, try_reconnect, sub)
+            t += down
+            horizon = max(horizon, t + 2_000)
+
+    if crash is not None:
+        crash_at, down = crash
+        sim.at(crash_at, shb.fail_for, down)
+        horizon = max(horizon, crash_at + down + 2_000)
+
+    sim.run_until(horizon)
+    # Quiesce: stop publishing, reconnect stragglers, drain catchups.
+    pub.stop()
+    for sub in subs:
+        try_reconnect(sub)
+    sim.run_until(horizon + 20_000)
+
+    counts = Counter()
+    for sub in subs:
+        assert sub.stats.order_violations == 0, f"{sub.sub_id} saw reordering"
+        assert sub.duplicate_events == 0, f"{sub.sub_id} saw duplicates"
+        assert sub.stats.gaps == 0, f"{sub.sub_id} saw gaps without early release"
+        for event_id in sub.received_event_ids:
+            counts[event_id] += 1
+
+    # Every published event reached every matching subscriber.
+    matches_per_event = {i: 0 for i in range(4)}
+    for i in range(len(subs)):
+        for g in (i % 2, 2 + i % 2):
+            matches_per_event[g] += 1
+    for k in range(pub.published):
+        group = k % 4
+        expected = matches_per_event[group]
+        if expected == 0:
+            continue
+        # Event ids are pubend:timestamp; recover timestamp via order of
+        # publication is not possible here, so check in aggregate below.
+    total_expected = sum(matches_per_event[k % 4] for k in range(pub.published))
+    assert sum(counts.values()) == total_expected

@@ -1,0 +1,85 @@
+"""Property test: gap honesty under early release with random schedules.
+
+With a ``maxRetain`` policy and arbitrary disconnect windows, every
+matching event is either delivered exactly once or covered by an
+explicit gap range — never silently dropped, never duplicated — and the
+well-behaved (always connected) subscriber is never shown a gap.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    DurableSubscriber,
+    Everything,
+    MaxRetainPolicy,
+    Node,
+    PeriodicPublisher,
+    Scheduler,
+    build_two_broker,
+)
+from repro.util.intervals import IntervalSet
+
+
+@given(
+    max_retain_s=st.sampled_from([2, 4]),
+    away_pairs=st.lists(
+        st.tuples(st.integers(1_000, 6_000), st.integers(500, 9_000)),
+        min_size=1,
+        max_size=2,
+    ),
+    rate=st.sampled_from([50, 100]),
+)
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_gap_honesty_random_schedules(max_retain_s, away_pairs, rate):
+    sim = Scheduler()
+    overlay = build_two_broker(
+        sim, ["P1"],
+        policy=MaxRetainPolicy(max_retain_s * 1_000),
+        event_cache_span_ms=max_retain_s * 1_000,
+    )
+    shb = overlay.shbs[0]
+    machine = Node(sim, "clients")
+    good = DurableSubscriber(sim, "good", machine, Everything(), record_events=True)
+    flaky = DurableSubscriber(sim, "flaky", machine, Everything(), record_events=True)
+    good.connect(shb)
+    flaky.connect(shb)
+    pub = PeriodicPublisher(sim, overlay.phb, "P1", rate,
+                            attribute_fn=lambda i: {"group": i % 4})
+    pub.start()
+
+    horizon = 2_000
+    t = 0
+    for start_gap, down in away_pairs:
+        t += start_gap
+        sim.at(t, lambda: flaky.disconnect() if flaky.connected else None)
+        t += down
+        sim.at(t, lambda: flaky.connect(shb) if not flaky.connected else None)
+        horizon = t + 2_000
+    sim.run_until(horizon)
+    pub.stop()
+    if not flaky.connected:
+        flaky.connect(shb)
+    sim.run_until(horizon + 30_000)
+
+    # Well-behaved subscriber: complete, gapless.
+    assert good.stats.events == pub.published
+    assert good.stats.gaps == 0
+    assert good.duplicate_events == 0
+
+    # Flaky subscriber: exactly-once-or-explicit-gap.
+    assert flaky.duplicate_events == 0
+    assert flaky.stats.order_violations == 0
+    delivered = {int(e.split(":")[1]) for e in flaky.received_event_ids}
+    gap_cover = IntervalSet()
+    for _p, start, end in flaky.stats.gap_ranges:
+        gap_cover.add(start, end)
+    for event_id in good.received_event_ids:
+        ts = int(event_id.split(":")[1])
+        assert ts in delivered or ts in gap_cover, f"event {ts} silently lost"
+    for ts in delivered:
+        assert ts not in gap_cover, f"event {ts} both delivered and gapped"

@@ -1,0 +1,82 @@
+"""Tests for the release protocol: policies and aggregation."""
+
+import pytest
+
+from repro.core.release import (
+    MaxRetainPolicy,
+    NoEarlyRelease,
+    ReleaseAggregator,
+)
+from repro.util.errors import ProtocolError
+
+
+class TestPolicies:
+    def test_no_early_release_bound_is_tr(self):
+        policy = NoEarlyRelease()
+        assert policy.release_bound(now=10_000, t_r=500, t_d=900) == 500
+
+    def test_max_retain_releases_aged_ticks(self):
+        policy = MaxRetainPolicy(max_retain_ms=1000)
+        # now - t > 1000 and t <= Td
+        assert policy.release_bound(now=10_000, t_r=500, t_d=9_500) == 8_999
+
+    def test_max_retain_capped_at_td(self):
+        policy = MaxRetainPolicy(max_retain_ms=1000)
+        assert policy.release_bound(now=10_000, t_r=500, t_d=5_000) == 5_000
+
+    def test_max_retain_never_below_tr(self):
+        policy = MaxRetainPolicy(max_retain_ms=1000)
+        assert policy.release_bound(now=1_500, t_r=700, t_d=800) == 700
+
+    def test_max_retain_invariant_tr_le_bound(self):
+        policy = MaxRetainPolicy(max_retain_ms=100)
+        for now in range(0, 3000, 137):
+            for t_r in range(0, 500, 91):
+                t_d = t_r + 300
+                bound = policy.release_bound(now, t_r, t_d)
+                assert bound >= t_r
+                assert bound <= max(t_r, t_d)
+
+    def test_invalid_max_retain(self):
+        with pytest.raises(ValueError):
+            MaxRetainPolicy(0)
+
+
+class TestAggregator:
+    def test_aggregate_none_until_all_report(self):
+        agg = ReleaseAggregator("P1")
+        agg.register_child("c1")
+        agg.register_child("c2")
+        agg.update("c1", 10, 20)
+        assert agg.aggregate() is None
+        agg.update("c2", 5, 30)
+        assert agg.aggregate() == (5, 20)
+
+    def test_empty_aggregator_is_none(self):
+        assert ReleaseAggregator("P1").aggregate() is None
+
+    def test_reports_are_monotone(self):
+        agg = ReleaseAggregator("P1")
+        agg.register_child("c1")
+        agg.update("c1", 10, 20)
+        agg.update("c1", 5, 15)   # regressing report is clamped
+        assert agg.aggregate() == (10, 20)
+
+    def test_invariant_enforced(self):
+        agg = ReleaseAggregator("P1")
+        with pytest.raises(ProtocolError):
+            agg.update("c1", released=30, latest_delivered=20)
+
+    def test_unregister_child(self):
+        agg = ReleaseAggregator("P1")
+        agg.register_child("c1")
+        agg.register_child("c2")
+        agg.update("c1", 10, 20)
+        agg.unregister_child("c2")
+        assert agg.aggregate() == (10, 20)
+
+    def test_update_implicitly_registers(self):
+        agg = ReleaseAggregator("P1")
+        agg.update("c1", 10, 20)
+        assert agg.aggregate() == (10, 20)
+        assert agg.child_count == 1

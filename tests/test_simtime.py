@@ -1,0 +1,148 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.net.simtime import Scheduler
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Scheduler().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Scheduler()
+        fired = []
+        sim.at(30, fired.append, "c")
+        sim.at(10, fired.append, "a")
+        sim.at(20, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_times_fire_in_schedule_order(self):
+        sim = Scheduler()
+        fired = []
+        for tag in "abcde":
+            sim.at(5, fired.append, tag)
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_after_is_relative(self):
+        sim = Scheduler()
+        times = []
+        sim.after(10, lambda: sim.after(10, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [20.0]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Scheduler()
+        sim.at(10, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.at(5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler().after(-1, lambda: None)
+
+    def test_run_until_advances_clock_past_last_event(self):
+        sim = Scheduler()
+        sim.at(5, lambda: None)
+        sim.run_until(100)
+        assert sim.now == 100.0
+
+    def test_run_until_does_not_fire_later_events(self):
+        sim = Scheduler()
+        fired = []
+        sim.at(5, fired.append, "early")
+        sim.at(50, fired.append, "late")
+        sim.run_until(10)
+        assert fired == ["early"]
+        sim.run_until(60)
+        assert fired == ["early", "late"]
+
+    def test_event_at_boundary_fires(self):
+        sim = Scheduler()
+        fired = []
+        sim.at(10, fired.append, "x")
+        sim.run_until(10)
+        assert fired == ["x"]
+
+    def test_events_executed_counter(self):
+        sim = Scheduler()
+        for _ in range(7):
+            sim.after(1, lambda: None)
+        sim.run()
+        assert sim.events_executed == 7
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Scheduler()
+        fired = []
+        handle = sim.at(10, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Scheduler()
+        handle = sim.at(10, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+
+class TestPeriodic:
+    def test_every_fires_repeatedly(self):
+        sim = Scheduler()
+        times = []
+        sim.every(10, lambda: times.append(sim.now))
+        sim.run_until(35)
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_every_first_delay(self):
+        sim = Scheduler()
+        times = []
+        sim.every(10, lambda: times.append(sim.now), first_delay=3)
+        sim.run_until(25)
+        assert times == [3.0, 13.0, 23.0]
+
+    def test_periodic_cancel_stops_firing(self):
+        sim = Scheduler()
+        count = [0]
+        handle = sim.every(10, lambda: count.__setitem__(0, count[0] + 1))
+        sim.run_until(25)
+        handle.cancel()
+        sim.run_until(100)
+        assert count[0] == 2
+
+    def test_cancel_from_inside_callback(self):
+        sim = Scheduler()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] == 3:
+                handle.cancel()
+
+        handle = sim.every(5, tick)
+        sim.run_until(1000)
+        assert count[0] == 3
+
+    def test_non_positive_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler().every(0, lambda: None)
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def run():
+            sim = Scheduler()
+            trace = []
+            sim.every(7, lambda: trace.append(("a", sim.now)))
+            sim.every(11, lambda: trace.append(("b", sim.now)))
+            sim.after(50, lambda: sim.after(3, lambda: trace.append(("c", sim.now))))
+            sim.run_until(200)
+            return trace
+
+        assert run() == run()

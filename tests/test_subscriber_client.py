@@ -1,0 +1,100 @@
+"""Tests for the durable subscriber client."""
+
+import pytest
+
+from repro import (
+    DurableSubscriber,
+    Everything,
+    In,
+    Node,
+    PeriodicPublisher,
+    Scheduler,
+    build_two_broker,
+)
+from repro.core import messages as M
+from repro.util.errors import NotConnectedError
+
+
+@pytest.fixture
+def env():
+    sim = Scheduler()
+    overlay = build_two_broker(sim, ["P1"])
+    machine = Node(sim, "client")
+    return sim, overlay, machine
+
+
+class TestConnection:
+    def test_double_connect_rejected(self, env):
+        sim, overlay, machine = env
+        sub = DurableSubscriber(sim, "s1", machine, Everything())
+        sub.connect(overlay.shbs[0])
+        with pytest.raises(NotConnectedError):
+            sub.connect(overlay.shbs[0])
+
+    def test_disconnect_when_not_connected_is_noop(self, env):
+        sim, overlay, machine = env
+        sub = DurableSubscriber(sim, "s1", machine, Everything())
+        sub.disconnect()
+
+    def test_adopts_assigned_ct_on_first_connect(self, env):
+        sim, overlay, machine = env
+        sub = DurableSubscriber(sim, "s1", machine, Everything())
+        sub.connect(overlay.shbs[0])
+        sim.run_until(50)
+        assert "P1" in dict(sub.ct.items())
+
+    def test_shb_crash_marks_client_disconnected(self, env):
+        sim, overlay, machine = env
+        sub = DurableSubscriber(sim, "s1", machine, Everything())
+        sub.connect(overlay.shbs[0])
+        sim.run_until(50)
+        overlay.shbs[0].crash()
+        assert not sub.connected
+
+
+class TestCheckpointHandling:
+    def test_ct_advances_with_consumption(self, env):
+        sim, overlay, machine = env
+        sub = DurableSubscriber(sim, "s1", machine, Everything())
+        sub.connect(overlay.shbs[0])
+        pub = PeriodicPublisher(sim, overlay.phb, "P1", 100,
+                                attribute_fn=lambda i: {"group": 0})
+        pub.start()
+        sim.run_until(2_000)
+        assert sub.ct.get("P1") > 1_000
+        assert sub.committed_ct.get("P1") > 1_000
+
+    def test_commit_every_batches_snapshots(self, env):
+        sim, overlay, machine = env
+        sub = DurableSubscriber(sim, "s1", machine, Everything(), commit_every=1000)
+        sub.connect(overlay.shbs[0])
+        pub = PeriodicPublisher(sim, overlay.phb, "P1", 100,
+                                attribute_fn=lambda i: {"group": 0})
+        pub.start()
+        sim.run_until(2_000)
+        assert sub.committed_ct.get("P1") < sub.ct.get("P1")
+
+    def test_crash_rolls_back_to_committed(self, env):
+        sim, overlay, machine = env
+        sub = DurableSubscriber(sim, "s1", machine, Everything(), commit_every=1000)
+        sub.connect(overlay.shbs[0])
+        pub = PeriodicPublisher(sim, overlay.phb, "P1", 100,
+                                attribute_fn=lambda i: {"group": 0})
+        pub.start()
+        sim.run_until(2_000)
+        committed = sub.committed_ct.get("P1")
+        sub.crash()
+        assert sub.ct.get("P1") == committed
+
+    def test_silence_advances_ct_for_idle_subscriber(self, env):
+        sim, overlay, machine = env
+        # Matches nothing: only silence messages flow.
+        sub = DurableSubscriber(sim, "s1", machine, In("group", [99]))
+        sub.connect(overlay.shbs[0])
+        pub = PeriodicPublisher(sim, overlay.phb, "P1", 100,
+                                attribute_fn=lambda i: {"group": 0})
+        pub.start()
+        sim.run_until(3_000)
+        assert sub.stats.events == 0
+        assert sub.stats.silences > 0
+        assert sub.ct.get("P1") > 1_000

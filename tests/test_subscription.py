@@ -1,0 +1,112 @@
+"""Tests for durable subscription records and the persistent registry."""
+
+import pytest
+
+from repro.core.subscription import SubscriptionRegistry
+from repro.matching.predicates import Eq
+from repro.storage.table import PersistentTable
+from repro.util.errors import SubscriptionError
+
+
+def make_registry():
+    return SubscriptionRegistry(PersistentTable("subs"), PersistentTable("released"))
+
+
+class TestRegistration:
+    def test_create_assigns_compact_nums(self):
+        reg = make_registry()
+        a = reg.create("a", Eq("g", 1))
+        b = reg.create("b", Eq("g", 2))
+        assert (a.num, b.num) == (0, 1)
+        assert reg.by_num(1) is b
+        assert len(reg) == 2
+
+    def test_duplicate_create_rejected(self):
+        reg = make_registry()
+        reg.create("a", Eq("g", 1))
+        with pytest.raises(SubscriptionError):
+            reg.create("a", Eq("g", 2))
+
+    def test_drop(self):
+        reg = make_registry()
+        sub = reg.create("a", Eq("g", 1))
+        reg.ack("a", "P1", 10)
+        reg.drop("a")
+        assert reg.get("a") is None
+        assert reg.by_num(sub.num) is None
+        reg.drop("a")  # idempotent
+
+    def test_contains(self):
+        reg = make_registry()
+        reg.create("a", Eq("g", 1))
+        assert "a" in reg
+        assert "b" not in reg
+
+
+class TestAcks:
+    def test_ack_is_monotone(self):
+        reg = make_registry()
+        reg.create("a", Eq("g", 1))
+        reg.ack("a", "P1", 10)
+        reg.ack("a", "P1", 5)   # stale, ignored
+        assert reg.get("a").released_for("P1") == 10
+
+    def test_ack_unknown_sub_raises(self):
+        reg = make_registry()
+        with pytest.raises(SubscriptionError):
+            reg.ack("nope", "P1", 10)
+
+    def test_min_released_includes_disconnected(self):
+        reg = make_registry()
+        reg.create("a", Eq("g", 1))
+        reg.create("b", Eq("g", 2))
+        reg.ack("a", "P1", 50)
+        # b never acked: min is 0 — disconnected/quiet subs hold release.
+        assert reg.min_released("P1") == 0
+        reg.ack("b", "P1", 30)
+        assert reg.min_released("P1") == 30
+
+    def test_min_released_none_when_empty(self):
+        assert make_registry().min_released("P1") is None
+
+
+class TestCrashRecovery:
+    def test_committed_state_survives(self):
+        subs_t = PersistentTable("subs")
+        rel_t = PersistentTable("released")
+        reg = SubscriptionRegistry(subs_t, rel_t)
+        reg.create("a", Eq("g", 1))
+        reg.ack("a", "P1", 42)
+        reg.commit()
+        reg.create("b", Eq("g", 2))      # never committed
+        reg.ack("a", "P1", 99)           # dirty ack
+        reg.crash_reset()
+        assert "a" in reg
+        assert "b" not in reg
+        assert reg.get("a").released_for("P1") == 42
+        assert reg.get("a").connected is False
+
+    def test_nums_stable_across_recovery(self):
+        subs_t = PersistentTable("subs")
+        rel_t = PersistentTable("released")
+        reg = SubscriptionRegistry(subs_t, rel_t)
+        a = reg.create("a", Eq("g", 1))
+        b = reg.create("b", Eq("g", 2))
+        reg.commit()
+        reg.crash_reset()
+        assert reg.get("a").num == a.num
+        assert reg.get("b").num == b.num
+        # New subscriptions continue from the next free num.
+        c = reg.create("c", Eq("g", 3))
+        assert c.num == 2
+
+    def test_registry_reload_from_existing_tables(self):
+        subs_t = PersistentTable("subs")
+        rel_t = PersistentTable("released")
+        reg = SubscriptionRegistry(subs_t, rel_t)
+        reg.create("a", Eq("g", 1))
+        reg.ack("a", "P1", 7)
+        reg.commit()
+        # A second registry over the same tables (fresh SHB process).
+        reg2 = SubscriptionRegistry(subs_t, rel_t)
+        assert reg2.get("a").released_for("P1") == 7

@@ -1,0 +1,98 @@
+"""Tests for the overlay topology builders."""
+
+import pytest
+
+from repro import (
+    DurableSubscriber,
+    Everything,
+    Node,
+    PeriodicPublisher,
+    Scheduler,
+    build_chain,
+    build_single_broker,
+    build_star,
+    build_tree,
+    build_two_broker,
+)
+from repro.util.errors import ConfigurationError
+
+
+def drive(sim, overlay, n_events=100, rate=100):
+    """Attach one wildcard subscriber per SHB and publish; return subs."""
+    subs = []
+    for i, shb in enumerate(overlay.shbs):
+        machine = Node(sim, f"c{i}")
+        sub = DurableSubscriber(sim, f"s{i}", machine, Everything(), record_events=True)
+        sub.connect(shb)
+        subs.append(sub)
+    pub = PeriodicPublisher(sim, overlay.phb, overlay.pubend_names[0], rate,
+                            attribute_fn=lambda i: {"group": i % 4})
+    pub.start()
+    sim.run_until(n_events * 1000.0 / rate + 100)
+    pub.stop()
+    sim.run_until(sim.now + 2_000)
+    return subs, pub
+
+
+class TestBuilders:
+    def test_two_broker(self):
+        sim = Scheduler()
+        overlay = build_two_broker(sim, ["P1"])
+        assert len(overlay.shbs) == 1
+        assert overlay.intermediates == []
+        subs, pub = drive(sim, overlay)
+        assert subs[0].stats.events == pub.published
+
+    def test_star_4_shbs(self):
+        sim = Scheduler()
+        overlay = build_star(sim, ["P1"], n_shbs=4)
+        assert len(overlay.shbs) == 4
+        assert overlay.phb.child_names == [s.name for s in overlay.shbs]
+        subs, pub = drive(sim, overlay)
+        for sub in subs:
+            assert sub.stats.events == pub.published
+
+    def test_chain_with_intermediates(self):
+        sim = Scheduler()
+        overlay = build_chain(sim, ["P1"], n_intermediates=3)
+        assert len(overlay.intermediates) == 3
+        assert len(overlay.shbs) == 1
+        subs, pub = drive(sim, overlay)
+        assert subs[0].stats.events == pub.published
+
+    def test_single_broker_shares_node(self):
+        sim = Scheduler()
+        overlay = build_single_broker(sim, ["P1"])
+        assert overlay.phb.node is overlay.shbs[0].node
+        subs, pub = drive(sim, overlay)
+        assert subs[0].stats.events == pub.published
+
+    def test_tree_2x2(self):
+        sim = Scheduler()
+        overlay = build_tree(sim, ["P1"], fanout=[2, 2])
+        assert len(overlay.intermediates) == 2
+        assert len(overlay.shbs) == 4
+        subs, pub = drive(sim, overlay)
+        for sub in subs:
+            assert sub.stats.events == pub.published
+
+    def test_star_requires_shbs(self):
+        with pytest.raises(ConfigurationError):
+            build_star(Scheduler(), ["P1"], n_shbs=0)
+
+    def test_tree_requires_fanout(self):
+        with pytest.raises(ConfigurationError):
+            build_tree(Scheduler(), ["P1"], fanout=[])
+
+    def test_shb_by_name(self):
+        sim = Scheduler()
+        overlay = build_star(sim, ["P1"], n_shbs=2)
+        assert overlay.shb_by_name("shb2") is overlay.shbs[1]
+        with pytest.raises(ConfigurationError):
+            overlay.shb_by_name("nope")
+
+    def test_multiple_pubends(self):
+        sim = Scheduler()
+        overlay = build_two_broker(sim, ["P1", "P2", "P3"])
+        assert overlay.pubend_names == ["P1", "P2", "P3"]
+        assert set(overlay.phb.pubends) == {"P1", "P2", "P3"}
