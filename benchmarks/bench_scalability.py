@@ -67,6 +67,29 @@ def test_scalability_with_churn(benchmark, n_shbs):
     _maybe_report()
 
 
+def test_scalability_batched_delivery(benchmark):
+    """Throughput with a 10 ms batch window matches unbatched delivery.
+
+    Batching trades per-message scheduling for per-batch scheduling; it
+    must not change how many events subscribers receive.
+    """
+    duration = 60_000.0 if full_scale() else 14_000.0
+    result = benchmark.pedantic(
+        lambda: run_scalability(
+            n_shbs=1,
+            subs_per_shb=NO_CHURN_SUBS,
+            churn=False,
+            duration_ms=duration,
+            warmup_ms=4_000.0,
+            batch_window_ms=10.0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.efficiency > 0.95
+    assert result.achieved_rate == pytest.approx(200.0 * NO_CHURN_SUBS, rel=0.05)
+
+
 def test_single_broker_matches_one_shb(benchmark):
     """The 1-broker network has ~the capacity of the 1-SHB network."""
     result = benchmark.pedantic(

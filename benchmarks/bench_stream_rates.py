@@ -16,7 +16,7 @@ reports both rate series.
 from conftest import full_scale, write_result
 
 from repro.metrics.report import format_table
-from repro.sim.experiments import run_stream_rates
+from repro.sim.experiments import run_message_amplification, run_stream_rates
 
 
 def test_stream_advance_rates(benchmark):
@@ -55,3 +55,37 @@ def test_stream_advance_rates(benchmark):
     assert min(ld) < 850.0, "GC dips should be visible in the LD rate"
     assert min(rel) < min(ld), "released stalls deeper than latestDelivered"
     assert max(rel) > max(ld), "released bursts above normal during catch-up"
+
+
+def test_batching_message_amplification(benchmark):
+    """Batched delivery collapses per-link messages at full input rate.
+
+    16 subscribers all matching all 800 ev/s is the worst-case fan-out;
+    a 10 ms window must cut link transmissions per published event by at
+    least 3x without costing a single delivery.
+    """
+    duration = 30_000.0 if full_scale() else 10_000.0
+
+    def run_pair():
+        base = run_message_amplification(0.0, duration_ms=duration)
+        batched = run_message_amplification(10.0, duration_ms=duration)
+        return base, batched
+
+    base, batched = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    reduction = base.messages_per_event / batched.messages_per_event
+    rows = [
+        ["link msgs per event (window 0)", f"{base.messages_per_event:.2f}", "-"],
+        ["link msgs per event (window 10ms)", f"{batched.messages_per_event:.2f}", "-"],
+        ["reduction", f"{reduction:.1f}x", ">= 3x"],
+        ["mean batch size (10ms)", f"{batched.mean_batch_size:.1f}", "> 1"],
+        ["events delivered (0 / 10ms)",
+         f"{base.events_delivered} / {batched.events_delivered}", "equal"],
+    ]
+    write_result(
+        "batching_amplification",
+        format_table("Batching: link messages per published event",
+                     ["metric", "measured", "target"], rows),
+    )
+    assert base.exactly_once_ok and batched.exactly_once_ok
+    assert batched.events_delivered == base.events_delivered
+    assert reduction >= 3.0, f"only {reduction:.2f}x message reduction"

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Smoke benchmark with a checked-in regression baseline.
+
+Runs the message-amplification experiment (the batching tentpole's
+headline number) at a short duration and compares the result against
+``benchmarks/baseline.json``.  The simulation is deterministic, so the
+measured values are exactly reproducible; the 20% tolerance exists so
+benign parameter drift (e.g. retuned cost models) doesn't block CI,
+while a real batching regression — more link transmissions per event,
+smaller batches, or lost deliveries — does.
+
+Usage:
+    python benchmarks/check_baseline.py            # compare, exit 1 on regression
+    python benchmarks/check_baseline.py --update   # rewrite the baseline
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+from repro.sim.experiments import run_message_amplification
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "baseline.json"
+TOLERANCE = 0.20
+DURATION_MS = 6_000.0
+
+#: metric name -> direction in which the value getting *larger* is bad.
+HIGHER_IS_WORSE = {
+    "messages_per_event_window0": True,
+    "messages_per_event_window10": True,
+    "reduction": False,
+    "mean_batch_size_window10": False,
+    "events_delivered": False,
+}
+
+
+def measure() -> dict:
+    base = run_message_amplification(0.0, duration_ms=DURATION_MS)
+    batched = run_message_amplification(10.0, duration_ms=DURATION_MS)
+    if not (base.exactly_once_ok and batched.exactly_once_ok):
+        print("FATAL: exactly-once violated in smoke run", file=sys.stderr)
+        sys.exit(2)
+    if batched.events_delivered != base.events_delivered:
+        print("FATAL: batching changed delivery count "
+              f"({base.events_delivered} vs {batched.events_delivered})",
+              file=sys.stderr)
+        sys.exit(2)
+    return {
+        "messages_per_event_window0": round(base.messages_per_event, 4),
+        "messages_per_event_window10": round(batched.messages_per_event, 4),
+        "reduction": round(base.messages_per_event / batched.messages_per_event, 4),
+        "mean_batch_size_window10": round(batched.mean_batch_size, 4),
+        "events_delivered": base.events_delivered,
+    }
+
+
+def main(argv) -> int:
+    current = measure()
+    if "--update" in argv:
+        BASELINE_PATH.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run with --update", file=sys.stderr)
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures = []
+    for name, higher_is_worse in HIGHER_IS_WORSE.items():
+        old, new = baseline.get(name), current.get(name)
+        if old is None:
+            failures.append(f"{name}: missing from baseline (run --update)")
+            continue
+        if old == 0:
+            continue
+        change = (new - old) / abs(old)
+        worse = change if higher_is_worse else -change
+        marker = "REGRESSION" if worse > TOLERANCE else "ok"
+        print(f"{name:34s} baseline={old:<12} current={new:<12} "
+              f"change={change:+.1%} [{marker}]")
+        if worse > TOLERANCE:
+            failures.append(f"{name}: {old} -> {new} ({change:+.1%})")
+    if failures:
+        print("\nregressions beyond the "
+              f"{TOLERANCE:.0%} tolerance:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nall metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

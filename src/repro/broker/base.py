@@ -77,9 +77,13 @@ class Broker:
             raise ConfigurationError(f"{self.name} already has a parent")
         self.parent_name = parent.name
         self._parent_send = send_end
+        # Brokers that define _handle_from_parent_batch receive a batched
+        # link transmission as one list (fold all updates, pump once);
+        # others get the per-message handler for each element.
         recv_end.on_receive(
             lambda msg: self._handle_from_parent(msg),
             self.costs.broker_recv_cost,
+            batch_handler=getattr(self, "_handle_from_parent_batch", None),
         )
 
     def wire_child(self, send_end: LinkEnd, recv_end: LinkEnd, child: "Broker") -> None:
@@ -94,9 +98,18 @@ class Broker:
         )
 
     @classmethod
-    def connect(cls, parent: "Broker", child: "Broker", latency_ms: float = 1.0) -> Link:
+    def connect(
+        cls,
+        parent: "Broker",
+        child: "Broker",
+        latency_ms: float = 1.0,
+        batch_window_ms: float = 0.0,
+    ) -> Link:
         """Create the link between a parent and child broker and wire it."""
-        link = Link(parent.scheduler, parent.node, child.node, latency_ms)
+        link = Link(
+            parent.scheduler, parent.node, child.node, latency_ms,
+            batch_window_ms=batch_window_ms,
+        )
         parent.wire_child(link.a_to_b, link.b_to_a, child)
         child.wire_parent(link.b_to_a, link.a_to_b, parent)
         return link

@@ -21,7 +21,6 @@ from ..core import messages as M
 from ..core.curiosity import NackConsolidator
 from ..core.release import ReleaseAggregator
 from ..core.tickmap import TickMap
-from ..core.ticks import Tick
 from ..net.node import Node
 from ..net.simtime import Scheduler
 from ..util.intervals import IntervalSet
@@ -142,7 +141,9 @@ class IntermediateBroker(Broker):
                 out.d_events.append(event)
             else:
                 out.s_ranges.append((event.timestamp, event.timestamp))
-        return out
+        # Filtering appends one single-tick S range per suppressed event;
+        # a run of non-matching events ships as one range instead.
+        return out.coalesce()
 
     # ------------------------------------------------------------------
     # Upstream flow: nacks, release, subscriptions from children
@@ -181,16 +182,14 @@ class IntermediateBroker(Broker):
                 unresolved.add(iv.start, min(iv.end, cacheable_start - 1))
             if cacheable_start > iv.end:
                 continue
-            for run in relay.cache.runs_between(cacheable_start, iv.end):
-                if run.kind is Tick.Q:
-                    unresolved.add(run.start, run.end)
-                elif run.kind is Tick.D:
-                    assert run.event is not None
-                    reply.d_events.append(run.event)
-                elif run.kind is Tick.S:
-                    reply.s_ranges.append((run.start, run.end))
-                else:
-                    reply.l_ranges.append((run.start, run.end))
+            d_events, s_ranges, l_ranges, q_set = relay.cache.classify_within(
+                cacheable_start, iv.end
+            )
+            reply.d_events.extend(d_events)
+            reply.s_ranges.extend(s_ranges)
+            reply.l_ranges.extend(l_ranges)
+            unresolved.update(q_set)
+        reply.coalesce()
         if not reply.is_empty():
             self.cache_hits += 1
             filtered = self._filter_for_child(child, reply)

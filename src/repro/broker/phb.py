@@ -179,7 +179,9 @@ class PublisherHostingBroker(Broker):
                 out.d_events.append(event)
             else:
                 out.s_ranges.append((event.timestamp, event.timestamp))
-        return out
+        # Filtering appends one single-tick S range per suppressed event;
+        # a run of non-matching events ships as one range instead.
+        return out.coalesce()
 
     # ------------------------------------------------------------------
     # Upstream traffic from children

@@ -30,7 +30,6 @@ from ..core.constream import ConsolidatedStream
 from ..core.curiosity import CuriosityStream, NackConsolidator
 from ..core.subscription import SubscriptionRegistry
 from ..core.tickmap import TickMap
-from ..core.ticks import Tick
 from ..matching.engine import MatchingEngine
 from ..net.link import Link, LinkEnd
 from ..net.node import Node
@@ -67,8 +66,14 @@ class SubscriberHostingBroker(Broker):
         nack_consolidation: bool = True,
         use_pfs_for_catchup: bool = True,
         subscription_refresh_ms: float = 2_000.0,
+        batch_window_ms: float = 0.0,
     ) -> None:
         super().__init__(scheduler, name, cost_model, speed, node)
+        #: Delivery batching (0 = the seed's one-job-per-message path).
+        #: When positive, constream fan-out hands each subscriber its
+        #: events per pump as one CPU job, and client links are created
+        #: with the same batching window (see DurableSubscriber.connect).
+        self.batch_window_ms = batch_window_ms
         self.pubend_names = sorted(pubend_names)
         #: One durable device for PFS records and tables (the paper used
         #: DB2 plus the Log Volume on the same machine's SSA disks).
@@ -108,6 +113,7 @@ class SubscriberHostingBroker(Broker):
         self.catchup_ticks_nacked = 0  # recovery request volume (ablations)
         self.events_enqueued = 0
         self.gaps_enqueued = 0
+        self.delivery_batches = 0  # batched-fanout CPU jobs issued
         self._client_extensions: Dict[type, object] = {}
 
         self.node.on_crash(self._on_node_crash)
@@ -143,6 +149,7 @@ class SubscriberHostingBroker(Broker):
                 self.pfs,
                 self.meta_table,
                 deliver=self._deliver,
+                deliver_batch=self._deliver_batch if self.batch_window_ms > 0 else None,
             )
             self.constreams[pubend] = constream
             self.head_curiosity[pubend] = CuriosityStream(
@@ -393,16 +400,14 @@ class SubscriberHostingBroker(Broker):
                 unresolved.add(iv.start, min(iv.end, cacheable_start - 1))
             if cacheable_start > iv.end:
                 continue
-            for run in cache.runs_between(cacheable_start, iv.end):
-                if run.kind is Tick.Q:
-                    unresolved.add(run.start, run.end)
-                elif run.kind is Tick.D:
-                    assert run.event is not None
-                    reply.d_events.append(run.event)
-                elif run.kind is Tick.S:
-                    reply.s_ranges.append((run.start, run.end))
-                else:
-                    reply.l_ranges.append((run.start, run.end))
+            d_events, s_ranges, l_ranges, q_set = cache.classify_within(
+                cacheable_start, iv.end
+            )
+            reply.d_events.extend(d_events)
+            reply.s_ranges.extend(s_ranges)
+            reply.l_ranges.extend(l_ranges)
+            unresolved.update(q_set)
+        reply.coalesce()
         if not reply.is_empty():
             self.cache_served_nacks += 1
             # Serve synchronously: the stream's curiosity must see these
@@ -469,12 +474,54 @@ class SubscriberHostingBroker(Broker):
         if on_sent is not None:
             on_sent()
 
+    def _deliver_batch(self, sub_id: str, msgs: List[M.EventMessage]) -> None:
+        """Batched constream fan-out: one CPU job for a subscriber's
+        whole per-pump event list.  The messages then enter the client
+        link inside one batching window, so they also travel as one
+        transmission."""
+        self.events_enqueued += len(msgs)
+        self.delivery_batches += 1
+        cost = self.costs.deliver_event_ms * len(msgs)
+        self.node.submit(cost, lambda: self._do_send_batch(sub_id, msgs))
+
+    def _do_send_batch(self, sub_id: str, msgs: List[M.EventMessage]) -> None:
+        end = self._sessions.get(sub_id)
+        if end is not None:
+            for msg in msgs:
+                end.send(msg)
+
     # ------------------------------------------------------------------
     # Knowledge intake from the parent
     # ------------------------------------------------------------------
     def _handle_from_parent(self, msg: object) -> None:
         if isinstance(msg, M.KnowledgeUpdate):
             self._on_knowledge(msg)
+
+    def _handle_from_parent_batch(self, msgs: List[object]) -> None:
+        """Batched uplink intake: fold every knowledge update of one
+        transmission into the constream, then pump once per pubend over
+        the combined doubt-horizon advance (instead of once per update).
+        """
+        per_pubend: Dict[str, List[M.KnowledgeUpdate]] = {}
+        for msg in msgs:
+            if isinstance(msg, M.KnowledgeUpdate) and msg.pubend in self.constreams:
+                per_pubend.setdefault(msg.pubend, []).append(msg)
+            else:
+                self._handle_from_parent(msg)
+        for pubend, updates in per_pubend.items():
+            constream = self.constreams[pubend]
+            fresh: List[M.KnowledgeUpdate] = []
+            for update in updates:
+                self._cache_knowledge(pubend, update)
+                # The cursor is stable across the loop: it only advances
+                # in a pump, and the single pump happens below.
+                old, new = M.split_update(update, constream.delivered_cursor)
+                if not new.is_empty():
+                    fresh.append(new)
+                if not old.is_empty():
+                    self._route_to_catchups(pubend, old)
+            if fresh:
+                constream.accumulate_many(fresh)
 
     def _on_knowledge(self, update: M.KnowledgeUpdate) -> None:
         pubend = update.pubend

@@ -66,12 +66,14 @@ def build_two_broker(
     policy: Optional[EarlyReleasePolicy] = None,
     cost_model: Optional[CostModel] = None,
     link_latency_ms: float = 1.0,
+    batch_window_ms: float = 0.0,
     **shb_kwargs: object,
 ) -> Overlay:
     """The paper's 2-broker network: one PHB directly feeding one SHB."""
     return build_star(
         scheduler, pubends, n_shbs=1, policy=policy, cost_model=cost_model,
-        link_latency_ms=link_latency_ms, **shb_kwargs,
+        link_latency_ms=link_latency_ms, batch_window_ms=batch_window_ms,
+        **shb_kwargs,
     )
 
 
@@ -82,11 +84,18 @@ def build_star(
     policy: Optional[EarlyReleasePolicy] = None,
     cost_model: Optional[CostModel] = None,
     link_latency_ms: float = 1.0,
+    batch_window_ms: float = 0.0,
     **shb_kwargs: object,
 ) -> Overlay:
-    """One PHB with ``n_shbs`` SHB children (the scalability topologies)."""
+    """One PHB with ``n_shbs`` SHB children (the scalability topologies).
+
+    ``batch_window_ms`` configures batching on every broker link *and*
+    on the SHBs (whose client links inherit it); 0 keeps the unbatched
+    per-message paths everywhere.
+    """
     if n_shbs < 1:
         raise ConfigurationError("need at least one SHB")
+    shb_kwargs.setdefault("batch_window_ms", batch_window_ms)
     phb = PublisherHostingBroker(scheduler, "phb", cost_model=cost_model)
     for pubend in pubends:
         phb.create_pubend(pubend, policy=policy)
@@ -96,7 +105,9 @@ def build_star(
             scheduler, f"shb{i + 1}", pubends, cost_model=cost_model, **shb_kwargs
         )
         overlay.shbs.append(shb)
-        overlay.links.append(Broker.connect(phb, shb, link_latency_ms))
+        overlay.links.append(
+            Broker.connect(phb, shb, link_latency_ms, batch_window_ms=batch_window_ms)
+        )
     _register_release_children(overlay)
     return overlay
 
@@ -108,10 +119,12 @@ def build_chain(
     policy: Optional[EarlyReleasePolicy] = None,
     cost_model: Optional[CostModel] = None,
     link_latency_ms: float = 1.0,
+    batch_window_ms: float = 0.0,
     **shb_kwargs: object,
 ) -> Overlay:
     """PHB → k intermediates → SHB (the 5-hop latency topology uses k=3:
     publisher→PHB, three broker hops, SHB→subscriber are the 5 hops)."""
+    shb_kwargs.setdefault("batch_window_ms", batch_window_ms)
     phb = PublisherHostingBroker(scheduler, "phb", cost_model=cost_model)
     for pubend in pubends:
         phb.create_pubend(pubend, policy=policy)
@@ -120,11 +133,15 @@ def build_chain(
     for i in range(n_intermediates):
         mid = IntermediateBroker(scheduler, f"ib{i + 1}", cost_model=cost_model)
         overlay.intermediates.append(mid)
-        overlay.links.append(Broker.connect(upstream, mid, link_latency_ms))
+        overlay.links.append(
+            Broker.connect(upstream, mid, link_latency_ms, batch_window_ms=batch_window_ms)
+        )
         upstream = mid
     shb = SubscriberHostingBroker(scheduler, "shb1", pubends, cost_model=cost_model, **shb_kwargs)
     overlay.shbs.append(shb)
-    overlay.links.append(Broker.connect(upstream, shb, link_latency_ms))
+    overlay.links.append(
+        Broker.connect(upstream, shb, link_latency_ms, batch_window_ms=batch_window_ms)
+    )
     _register_release_children(overlay)
     return overlay
 
@@ -134,6 +151,7 @@ def build_single_broker(
     pubends: List[str],
     policy: Optional[EarlyReleasePolicy] = None,
     cost_model: Optional[CostModel] = None,
+    batch_window_ms: float = 0.0,
     **shb_kwargs: object,
 ) -> Overlay:
     """The paper's 1-broker network: PHB and SHB roles on one machine.
@@ -149,6 +167,7 @@ def build_single_broker(
     """
     node = Node(scheduler, "broker1", speed=1.35)
     disk = SimDisk(scheduler, "broker1-disk")
+    shb_kwargs.setdefault("batch_window_ms", batch_window_ms)
     phb = PublisherHostingBroker(scheduler, "phb", cost_model=cost_model, node=node, disk=disk)
     for pubend in pubends:
         phb.create_pubend(pubend, policy=policy)
@@ -156,7 +175,9 @@ def build_single_broker(
         scheduler, "shb1", pubends, cost_model=cost_model, node=node, disk=disk, **shb_kwargs
     )
     overlay = Overlay(scheduler, phb, shbs=[shb])
-    overlay.links.append(Broker.connect(phb, shb, latency_ms=0.05))
+    overlay.links.append(
+        Broker.connect(phb, shb, latency_ms=0.05, batch_window_ms=batch_window_ms)
+    )
     _register_release_children(overlay)
     return overlay
 
@@ -168,6 +189,7 @@ def build_tree(
     policy: Optional[EarlyReleasePolicy] = None,
     cost_model: Optional[CostModel] = None,
     link_latency_ms: float = 1.0,
+    batch_window_ms: float = 0.0,
     **shb_kwargs: object,
 ) -> Overlay:
     """A uniform tree: PHB → fanout[0] intermediates → ... → SHB leaves.
@@ -178,6 +200,7 @@ def build_tree(
     """
     if not fanout:
         raise ConfigurationError("fanout must have at least one level")
+    shb_kwargs.setdefault("batch_window_ms", batch_window_ms)
     phb = PublisherHostingBroker(scheduler, "phb", cost_model=cost_model)
     for pubend in pubends:
         phb.create_pubend(pubend, policy=policy)
@@ -198,7 +221,11 @@ def build_tree(
                     name = f"ib{len(overlay.intermediates) + 1}"
                     child = IntermediateBroker(scheduler, name, cost_model=cost_model)
                     overlay.intermediates.append(child)  # type: ignore[arg-type]
-                overlay.links.append(Broker.connect(parent, child, link_latency_ms))
+                overlay.links.append(
+                    Broker.connect(
+                        parent, child, link_latency_ms, batch_window_ms=batch_window_ms
+                    )
+                )
                 next_frontier.append(child)
         frontier = next_frontier
     _register_release_children(overlay)

@@ -85,12 +85,26 @@ class DurableSubscriber:
     # ------------------------------------------------------------------
     # Connection lifecycle
     # ------------------------------------------------------------------
-    def connect(self, shb: SubscriberHostingBroker, latency_ms: float = 0.5) -> None:
-        """Connect (first time or reconnect) to an SHB."""
+    def connect(
+        self,
+        shb: SubscriberHostingBroker,
+        latency_ms: float = 0.5,
+        batch_window_ms: Optional[float] = None,
+    ) -> None:
+        """Connect (first time or reconnect) to an SHB.
+
+        The client link's batching window defaults to the SHB's
+        ``batch_window_ms`` so one knob configures the whole last hop.
+        """
         if self.connected:
             raise NotConnectedError(f"{self.sub_id} is already connected")
+        if batch_window_ms is None:
+            batch_window_ms = getattr(shb, "batch_window_ms", 0.0)
         self._shb = shb
-        link = Link(self.scheduler, self.node, shb.node, latency_ms)
+        link = Link(
+            self.scheduler, self.node, shb.node, latency_ms,
+            batch_window_ms=batch_window_ms,
+        )
         self._send = shb.attach_client(link, self.node)
         self._link = link
         shb_end = link.end_for_sender(shb.node)

@@ -26,7 +26,7 @@ stream is a protocol violation.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, Iterable, List, Optional
 
 from ..matching.engine import MatchingEngine
 from ..net.simtime import Scheduler
@@ -39,6 +39,7 @@ from .subscription import SubscriptionRegistry
 from .ticks import Tick
 
 DeliverFn = Callable[[str, object], None]
+DeliverBatchFn = Callable[[str, List[EventMessage]], None]
 
 
 class ConsolidatedStream:
@@ -55,6 +56,7 @@ class ConsolidatedStream:
         deliver: DeliverFn,
         silence_interval_ms: float = 100.0,
         silence_lag_ms: int = 200,
+        deliver_batch: Optional[DeliverBatchFn] = None,
     ) -> None:
         self.pubend = pubend
         self.scheduler = scheduler
@@ -63,6 +65,11 @@ class ConsolidatedStream:
         self.pfs = pfs
         self.meta_table = meta_table
         self.deliver = deliver
+        #: When set, a pump hands each subscriber its matched events for
+        #: the whole doubt-horizon advance as one list (one broker CPU
+        #: job and one wire batch per subscriber per pump) instead of
+        #: one ``deliver`` call per event.
+        self.deliver_batch = deliver_batch
         self.silence_lag_ms = silence_lag_ms
         self._meta_key = f"latestDelivered:{pubend}"
         #: Recovered from the committed table on construction: after an
@@ -75,6 +82,7 @@ class ConsolidatedStream:
         self.events_delivered = 0
         self.silences_sent = 0
         self.expired_skipped = 0
+        self.fanout_batches = 0  # deliver_batch calls issued
         self._pumping = False
         self._repump = False
         self._silence_timer = scheduler.every(silence_interval_ms, self._silence_tick)
@@ -130,6 +138,12 @@ class ConsolidatedStream:
         self.knowledge.accumulate(update)
         self.pump()
 
+    def accumulate_many(self, updates: Iterable[KnowledgeUpdate]) -> None:
+        """Fold a batch of updates, then pump once over the combined
+        advance — the intake half of batched delivery."""
+        self.knowledge.accumulate_many(updates)
+        self.pump()
+
     @property
     def delivered_cursor(self) -> int:
         """The subscriber-delivery cursor: every tick at or below it has
@@ -166,6 +180,11 @@ class ConsolidatedStream:
 
     def _pump_once(self) -> None:
         runs = self.knowledge.advance()
+        # Batched fan-out: collect each subscriber's events across the
+        # whole advance, then hand them over in one pass per subscriber.
+        batches: Optional[Dict[str, List[EventMessage]]] = (
+            {} if self.deliver_batch is not None else None
+        )
         for run in runs:
             if run.kind is Tick.L:
                 raise ProtocolError(
@@ -183,7 +202,7 @@ class ConsolidatedStream:
                 # reads correctly see the tick as silence).
                 self.expired_skipped += 1
                 continue
-            matched = self.engine.match(event.attributes)
+            matched = self.engine.match_at(event.event_id, event.attributes)
             nums = []
             for sub_id in matched:
                 sub = self.registry.get(sub_id)
@@ -194,12 +213,27 @@ class ConsolidatedStream:
                 # subscriber, connected or not.
                 self._pending_pfs.append(t)
                 self.pfs.write(self.pubend, t, nums, on_durable=lambda t=t: self._pfs_durable(t))
-            for sub_id in matched:
-                last_sent = self._non_catchup.get(sub_id)
-                if last_sent is not None and t > last_sent:
-                    self.deliver(sub_id, EventMessage(self.pubend, t, event))
-                    self._non_catchup[sub_id] = t
-                    self.events_delivered += 1
+            if batches is None:
+                for sub_id in matched:
+                    last_sent = self._non_catchup.get(sub_id)
+                    if last_sent is not None and t > last_sent:
+                        self.deliver(sub_id, EventMessage(self.pubend, t, event))
+                        self._non_catchup[sub_id] = t
+                        self.events_delivered += 1
+            else:
+                for sub_id in sorted(matched):
+                    last_sent = self._non_catchup.get(sub_id)
+                    if last_sent is not None and t > last_sent:
+                        batches.setdefault(sub_id, []).append(
+                            EventMessage(self.pubend, t, event)
+                        )
+                        self._non_catchup[sub_id] = t
+                        self.events_delivered += 1
+        if batches:
+            assert self.deliver_batch is not None
+            for sub_id, msgs in batches.items():
+                self.deliver_batch(sub_id, msgs)
+                self.fanout_batches += 1
         self._recompute_latest_delivered()
 
     def _pfs_durable(self, t: int) -> None:

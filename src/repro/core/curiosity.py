@@ -54,6 +54,7 @@ class CuriosityStream:
         self._timer: Optional[PeriodicHandle] = None
         self.nacks_sent = 0
         self.ticks_nacked = 0
+        self.ranges_nacked = 0  # interval fragments across all nacks
 
     # ------------------------------------------------------------------
     # Interest management
@@ -128,8 +129,21 @@ class CuriosityStream:
         if due:
             self.nacks_sent += 1
             self.ticks_nacked += due.tick_count()
+            self.ranges_nacked += len(due)
             self._gen_cur.update(due)
             self._send_nack(due)
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """Mean ticks carried per transmitted nack range.
+
+        ``IntervalSet`` normalization means a contiguous run of doubt
+        ships as one range however it accumulated; this reports how much
+        that collapses the wire traffic (1.0 = no coalescing win).
+        """
+        if self.ranges_nacked == 0:
+            return 0.0
+        return self.ticks_nacked / self.ranges_nacked
 
     def close(self) -> None:
         """Stop the nack timer (stream discarded on catchup switchover)."""

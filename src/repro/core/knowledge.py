@@ -11,7 +11,7 @@ cursor, and consumed storage is forgotten to keep memory bounded.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterable, Iterator, List, Optional
 
 from ..util.intervals import IntervalSet
 from .events import Event
@@ -48,6 +48,16 @@ class KnowledgeStream:
             self.tickmap.set_s(start, end)
         for event in update.d_events:
             self.tickmap.set_d(event.timestamp, event)
+
+    def accumulate_many(self, updates: Iterable[KnowledgeUpdate]) -> None:
+        """Fold a whole batch of updates before any consumption.
+
+        Batched links hand a list of updates to one receiver callback;
+        folding them all first lets the consumer pump once over the
+        combined doubt-horizon advance instead of once per update.
+        """
+        for update in updates:
+            self.accumulate(update)
 
     def accumulate_event(self, event: Event) -> None:
         self.tickmap.set_d(event.timestamp, event)

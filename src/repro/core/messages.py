@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..matching.predicates import Predicate
+from ..util.intervals import coalesce_ranges
 from .events import Event
 
 #: Estimated control-message framing bytes, used for CPU/disk cost models.
@@ -68,6 +69,21 @@ class KnowledgeUpdate:
             + sum(e.size_bytes for e in self.d_events)
             + 16 * (len(self.s_ranges) + len(self.l_ranges))
         )
+
+    def coalesce(self) -> "KnowledgeUpdate":
+        """Merge adjacent/overlapping S and L ranges in place.
+
+        Filtering and nack answering append ranges tick-by-tick, so a
+        silenced run of *n* events arrives as *n* single-tick ranges;
+        after coalescing it is one.  The covered ticks are unchanged,
+        so receivers fold the update into their tick maps identically.
+        Returns ``self`` for chaining at send sites.
+        """
+        if len(self.s_ranges) > 1:
+            self.s_ranges = coalesce_ranges(self.s_ranges)
+        if len(self.l_ranges) > 1:
+            self.l_ranges = coalesce_ranges(self.l_ranges)
+        return self
 
 
 @dataclass

@@ -200,6 +200,32 @@ class TickMap:
         if cursor <= min(iv.end, max_end):
             yield Run(cursor, iv.end, Tick.S)
 
+    def classify_within(
+        self, start: int, end: int
+    ) -> "tuple[List[Event], List[tuple[int, int]], List[tuple[int, int]], IntervalSet]":
+        """Bucket ``[start, end]`` into ``(d_events, s_ranges, l_ranges, q_set)``.
+
+        The shape a cache-serving broker needs to answer a nack: the D
+        events to ship, maximal (already coalesced) S and L ranges, and
+        the Q remainder it must ask upstream about.  Built from
+        :meth:`runs_between`, so each contiguous run of silence is one
+        range, not one per tick.
+        """
+        d_events: List[Event] = []
+        s_ranges: List[tuple[int, int]] = []
+        l_ranges: List[tuple[int, int]] = []
+        q_set = IntervalSet()
+        for run in self.runs_between(start, end):
+            if run.kind is Tick.D:
+                d_events.append(run.event)  # type: ignore[arg-type]
+            elif run.kind is Tick.S:
+                s_ranges.append((run.start, run.end))
+            elif run.kind is Tick.L:
+                l_ranges.append((run.start, run.end))
+            else:
+                q_set.add(run.start, run.end)
+        return d_events, s_ranges, l_ranges, q_set
+
     # ------------------------------------------------------------------
     # Memory management
     # ------------------------------------------------------------------

@@ -22,6 +22,10 @@ from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Set,
 from .predicates import Predicate
 
 
+#: Entries kept in the per-timestamp match cache before it is cleared.
+MATCH_CACHE_LIMIT = 4096
+
+
 class MatchingEngine:
     """A mutable registry of ``subscription_id -> Predicate``."""
 
@@ -32,6 +36,11 @@ class MatchingEngine:
         # (attr, value-set) remembered per sub for O(1) removal
         self._index_keys: Dict[str, Tuple[str, FrozenSet[Any]]] = {}
         self._scan: Set[str] = set()
+        # event id -> frozen match result, valid until the filter set
+        # changes (any add/remove invalidates every cached answer)
+        self._match_cache: Dict[str, FrozenSet[str]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # ------------------------------------------------------------------
     # Registry
@@ -40,6 +49,7 @@ class MatchingEngine:
         """Register (or replace) a subscription's filter."""
         if sub_id in self._filters:
             self.remove(sub_id)
+        self._match_cache.clear()
         self._filters[sub_id] = predicate
         key = predicate.indexable_equalities()
         if key is None:
@@ -55,6 +65,7 @@ class MatchingEngine:
         predicate = self._filters.pop(sub_id, None)
         if predicate is None:
             return
+        self._match_cache.clear()
         self._scan.discard(sub_id)
         key = self._index_keys.pop(sub_id, None)
         if key is not None:
@@ -112,6 +123,27 @@ class MatchingEngine:
             if self._filters[sub_id].matches(attributes):
                 return True
         return False
+
+    def match_at(self, event_id: str, attributes: Mapping[str, Any]) -> FrozenSet[str]:
+        """Like :meth:`match`, memoized by the event's identity.
+
+        ``event_id`` is ``pubend:timestamp`` — unique per event — and an
+        event's attributes never change, so it fully identifies the
+        match question; the same event re-entering the engine (nack
+        replies arriving behind head knowledge, cache-served catchup
+        ticks) reuses the stored answer until the filter set changes.
+        Returns a frozen set — callers must not mutate it.
+        """
+        cached = self._match_cache.get(event_id)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        if len(self._match_cache) >= MATCH_CACHE_LIMIT:
+            self._match_cache.clear()
+        result = frozenset(self.match(attributes))
+        self._match_cache[event_id] = result
+        return result
 
     def matches_subscription(self, sub_id: str, attributes: Mapping[str, Any]) -> bool:
         """Evaluate one specific subscription (catchup-stream filtering)."""

@@ -66,6 +66,43 @@ class MetricsCollector:
         series = self._series(name)
         self._probes.append(lambda now: series.append(now, node.busy.idle_fraction(now)))
 
+    def ratio(
+        self, name: str, numerator: Callable[[], float], denominator: Callable[[], float]
+    ) -> None:
+        """Sample the windowed ratio of two cumulative counters.
+
+        The batching report series are all of this shape: mean batch
+        size (messages / transmissions), messages-per-event
+        (transmissions / events published) and coalescing ratio (ticks /
+        ranges).  Each sample covers only the window since the previous
+        one, so the series shows the live ratio, not the lifetime mean.
+        """
+        series = self._series(name)
+        num_t = GaugeRate(f"{name}.num")
+        den_t = GaugeRate(f"{name}.den")
+
+        def probe(now: float) -> None:
+            dn = num_t.sample(now, numerator())
+            dd = den_t.sample(now, denominator())
+            series.append(now, dn / dd if dd else 0.0)
+
+        self._probes.append(probe)
+
+    def link_batching(self, scheduler: Scheduler, events_published: Callable[[], float]) -> None:
+        """Register the standard batching series from the scheduler's
+        shared :class:`~repro.net.link.LinkStats`: ``link.batch_size``
+        (messages per transmission) and ``link.msgs_per_event``
+        (transmissions per published event)."""
+        from ..net.link import link_stats
+
+        stats = link_stats(scheduler)
+        self.ratio(
+            "link.batch_size", lambda: stats.messages, lambda: stats.transmissions
+        )
+        self.ratio(
+            "link.msgs_per_event", lambda: stats.transmissions, events_published
+        )
+
     # ------------------------------------------------------------------
     # Control
     # ------------------------------------------------------------------

@@ -9,6 +9,13 @@ Delivery of a message costs CPU at the *receiver* (``recv_cost_ms``
 from the message, see :class:`repro.net.transport.Endpoint`), so a
 flooded receiver saturates and back-pressures throughput — the effect
 behind Figure 4's peak-rate measurements.
+
+Links optionally batch: with ``batch_window_ms > 0`` a direction
+buffers messages for up to that long and ships the whole buffer as one
+transmission — one scheduled callback and one receiver CPU submission
+(costing the sum of the per-message receive costs) instead of one of
+each per message.  FIFO order and the loss semantics above are
+unchanged; a window of 0 uses the exact unbatched path.
 """
 
 from __future__ import annotations
@@ -19,6 +26,54 @@ from .node import Node
 from .simtime import Scheduler
 
 
+class LinkStats:
+    """Aggregate wire counters across every link sharing a scheduler.
+
+    ``messages`` counts logical messages put on the wire, and
+    ``transmissions`` the scheduled arrival callbacks that carried them,
+    so ``messages / transmissions`` is the mean batch size and
+    ``transmissions / events published`` is the messages-per-event
+    figure the batching benchmarks report.
+    """
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.transmissions = 0
+        self.batches = 0  # transmissions that carried more than one message
+        self.largest_batch = 0
+        self.dropped = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        if self.transmissions == 0:
+            return 0.0
+        return self.messages / self.transmissions
+
+    def snapshot(self) -> dict:
+        return {
+            "messages": self.messages,
+            "transmissions": self.transmissions,
+            "batches": self.batches,
+            "largest_batch": self.largest_batch,
+            "dropped": self.dropped,
+            "mean_batch_size": self.mean_batch_size,
+        }
+
+
+def link_stats(scheduler: Scheduler) -> LinkStats:
+    """The shared :class:`LinkStats` for ``scheduler`` (created lazily).
+
+    Client links churn (each reconnect makes a fresh :class:`Link`), so
+    per-link counters undercount; every link reports into this single
+    per-scheduler aggregate as well.
+    """
+    stats = getattr(scheduler, "_link_stats", None)
+    if stats is None:
+        stats = LinkStats()
+        scheduler._link_stats = stats  # type: ignore[attr-defined]
+    return stats
+
+
 class LinkEnd:
     """One direction of a :class:`Link` (sender's view)."""
 
@@ -27,16 +82,33 @@ class LinkEnd:
         self.sender = sender
         self.receiver = receiver
         self._handler: Optional[Callable[[Any], None]] = None
+        self._batch_handler: Optional[Callable[[List[Any]], None]] = None
         self._recv_cost: Callable[[Any], float] = lambda _msg: 0.0
         self._last_arrival = 0.0
+        self._buffer: List[Any] = []
+        self._flush_pending = False
         self.sent = 0
         self.delivered = 0
         self.dropped = 0
+        self.transmissions = 0
 
-    def on_receive(self, handler: Callable[[Any], None], recv_cost: Callable[[Any], float]) -> None:
-        """Install the receiver-side handler and its CPU-cost model."""
+    def on_receive(
+        self,
+        handler: Callable[[Any], None],
+        recv_cost: Callable[[Any], float],
+        batch_handler: Optional[Callable[[List[Any]], None]] = None,
+    ) -> None:
+        """Install the receiver-side handler and its CPU-cost model.
+
+        ``batch_handler``, if given, receives the whole message list of
+        a batched transmission in one call (still charged the summed
+        per-message cost); otherwise ``handler`` is invoked once per
+        message, in order.  Unbatched transmissions always use
+        ``handler``.
+        """
         self._handler = handler
         self._recv_cost = recv_cost
+        self._batch_handler = batch_handler
 
     def send(self, msg: Any) -> None:
         """Transmit ``msg``; it arrives after the link latency, in order.
@@ -49,31 +121,99 @@ class LinkEnd:
         self.sent += 1
         if self._link.down or self.sender.is_down or self.receiver.is_down:
             self.dropped += 1
+            self._link.stats.dropped += 1
+            return
+        if self._link.batch_window_ms <= 0.0:
+            scheduler = self._link.scheduler
+            arrival = max(scheduler.now + self._link.latency_ms, self._last_arrival)
+            self._last_arrival = arrival
+            self._record_transmission(1)
+            scheduler.at(arrival, self._arrive, msg)
+            return
+        self._buffer.append(msg)
+        if not self._flush_pending:
+            self._flush_pending = True
+            self._link.scheduler.after(self._link.batch_window_ms, self._flush)
+
+    def _flush(self) -> None:
+        self._flush_pending = False
+        batch, self._buffer = self._buffer, []
+        if not batch:
+            return
+        if self._link.down or self.sender.is_down or self.receiver.is_down:
+            self.dropped += len(batch)
+            self._link.stats.dropped += len(batch)
             return
         scheduler = self._link.scheduler
         arrival = max(scheduler.now + self._link.latency_ms, self._last_arrival)
         self._last_arrival = arrival
-        scheduler.at(arrival, self._arrive, msg)
+        self._record_transmission(len(batch))
+        scheduler.at(arrival, self._arrive_batch, batch)
+
+    def _record_transmission(self, n_messages: int) -> None:
+        self.transmissions += 1
+        stats = self._link.stats
+        stats.transmissions += 1
+        stats.messages += n_messages
+        if n_messages > 1:
+            stats.batches += 1
+        if n_messages > stats.largest_batch:
+            stats.largest_batch = n_messages
 
     def _arrive(self, msg: Any) -> None:
         if self._link.down or self.receiver.is_down or self._handler is None:
             self.dropped += 1
+            self._link.stats.dropped += 1
             return
         handler = self._handler
         if not self.receiver.try_submit(self._recv_cost(msg), lambda: handler(msg)):
             self.dropped += 1
+            self._link.stats.dropped += 1
             return
         self.delivered += 1
+
+    def _arrive_batch(self, batch: List[Any]) -> None:
+        if self._link.down or self.receiver.is_down or self._handler is None:
+            self.dropped += len(batch)
+            self._link.stats.dropped += len(batch)
+            return
+        cost = sum(self._recv_cost(m) for m in batch)
+        batch_handler = self._batch_handler
+        if batch_handler is not None:
+            job: Callable[[], None] = lambda: batch_handler(batch)
+        else:
+            handler = self._handler
+
+            def job() -> None:
+                for m in batch:
+                    handler(m)
+
+        if not self.receiver.try_submit(cost, job):
+            self.dropped += len(batch)
+            self._link.stats.dropped += len(batch)
+            return
+        self.delivered += len(batch)
 
 
 class Link:
     """A bidirectional FIFO channel between two nodes."""
 
-    def __init__(self, scheduler: Scheduler, a: Node, b: Node, latency_ms: float = 1.0) -> None:
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        a: Node,
+        b: Node,
+        latency_ms: float = 1.0,
+        batch_window_ms: float = 0.0,
+    ) -> None:
         if latency_ms < 0:
             raise ValueError("latency must be non-negative")
+        if batch_window_ms < 0:
+            raise ValueError("batch window must be non-negative")
         self.scheduler = scheduler
         self.latency_ms = latency_ms
+        self.batch_window_ms = batch_window_ms
+        self.stats = link_stats(scheduler)
         self.down = False
         self.a_to_b = LinkEnd(self, a, b)
         self.b_to_a = LinkEnd(self, b, a)

@@ -65,6 +65,7 @@ def run_scalability(
     churn_period_ms: float = 60_000.0,
     churn_down_ms: float = 1_000.0,
     single_broker: bool = False,
+    batch_window_ms: float = 0.0,
 ) -> ScalabilityResult:
     """One bar of Figure 4: aggregate subscriber rate for a topology.
 
@@ -76,11 +77,17 @@ def run_scalability(
     spec = spec or PaperWorkloadSpec()
     sim = Scheduler()
     if single_broker:
-        overlay = build_single_broker(sim, spec.pubend_names())
+        overlay = build_single_broker(
+            sim, spec.pubend_names(), batch_window_ms=batch_window_ms
+        )
     elif n_shbs == 1:
-        overlay = build_two_broker(sim, spec.pubend_names())
+        overlay = build_two_broker(
+            sim, spec.pubend_names(), batch_window_ms=batch_window_ms
+        )
     else:
-        overlay = build_star(sim, spec.pubend_names(), n_shbs=n_shbs)
+        overlay = build_star(
+            sim, spec.pubend_names(), n_shbs=n_shbs, batch_window_ms=batch_window_ms
+        )
     publishers = make_publishers(sim, overlay.phb, spec)
     subscribers = make_subscribers(sim, overlay.shbs, spec, subs_per_shb)
     shb_of = {sub.sub_id: overlay.shbs[i // subs_per_shb] for i, sub in enumerate(subscribers)}
@@ -209,6 +216,7 @@ def run_stream_rates(
     gc_pause_ms: float = 0.0,
     gc_period_ms: float = 10_000.0,
     spec: Optional[PaperWorkloadSpec] = None,
+    batch_window_ms: float = 0.0,
 ) -> StreamRatesResult:
     """The 2-broker experiment behind Figures 5 and 6.
 
@@ -217,7 +225,9 @@ def run_stream_rates(
     """
     spec = spec or PaperWorkloadSpec()
     sim = Scheduler()
-    overlay = build_two_broker(sim, spec.pubend_names())
+    overlay = build_two_broker(
+        sim, spec.pubend_names(), batch_window_ms=batch_window_ms
+    )
     shb = overlay.shbs[0]
     publishers = make_publishers(sim, overlay.phb, spec)
     subscribers = make_subscribers(sim, overlay.shbs, spec, subs)
@@ -421,4 +431,81 @@ def run_jms_autoack(
         consumed_rate=consumed_rate,
         commits_per_s=commits_rate,
         coalesced_fraction=service.updates_coalesced / total_updates if total_updates else 0.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Message amplification (batching / coalescing report)
+# ---------------------------------------------------------------------------
+@dataclass
+class AmplificationResult:
+    batch_window_ms: float
+    subscribers: int
+    events_published: int
+    events_delivered: int
+    link_messages: int           # logical messages handed to links
+    link_transmissions: int      # scheduled deliveries (batches count once)
+    mean_batch_size: float
+    messages_per_event: float    # transmissions per published event
+    batch_size_series: Series
+    msgs_per_event_series: Series
+    duplicates: int
+    order_violations: int
+
+    @property
+    def exactly_once_ok(self) -> bool:
+        return self.duplicates == 0 and self.order_violations == 0
+
+
+def run_message_amplification(
+    batch_window_ms: float,
+    n_subs: int = 16,
+    duration_ms: float = 12_000.0,
+    spec: Optional[PaperWorkloadSpec] = None,
+) -> AmplificationResult:
+    """Link-message amplification at the paper's full input rate.
+
+    Worst case for fan-out amplification: every subscriber matches every
+    event (``groups_per_sub == n_groups``), so without batching each of
+    the 800 ev/s crosses the SHB→client hop once per subscriber.  The
+    result reports how many link transmissions each published event
+    costs; a batching window collapses that by roughly
+    ``per-link message rate × window``.
+    """
+    spec = spec or PaperWorkloadSpec(groups_per_sub=4)
+    sim = Scheduler()
+    overlay = build_two_broker(
+        sim, spec.pubend_names(), batch_window_ms=batch_window_ms
+    )
+    publishers = make_publishers(sim, overlay.phb, spec)
+    subscribers = make_subscribers(
+        sim, overlay.shbs, spec, n_subs, record_events=True
+    )
+    collector = MetricsCollector(sim, interval_ms=1000.0)
+    collector.link_batching(
+        sim, lambda: float(sum(p.published for p in publishers))
+    )
+    collector.start()
+    sim.run_until(duration_ms)
+    for pub in publishers:
+        pub.stop()
+    sim.run_until(duration_ms + 2_000.0)   # drain in-flight batches
+    collector.stop()
+    from ..net.link import link_stats
+
+    stats = link_stats(sim)
+    published = sum(p.published for p in publishers)
+    return AmplificationResult(
+        batch_window_ms=batch_window_ms,
+        subscribers=n_subs,
+        events_published=published,
+        events_delivered=sum(s.stats.events for s in subscribers),
+        link_messages=stats.messages,
+        link_transmissions=stats.transmissions,
+        mean_batch_size=stats.mean_batch_size,
+        messages_per_event=stats.transmissions / published if published else 0.0,
+        batch_size_series=collector.get("link.batch_size"),
+        msgs_per_event_series=collector.get("link.msgs_per_event"),
+        duplicates=sum(s.duplicate_events for s in subscribers),
+        order_violations=sum(s.stats.order_violations for s in subscribers),
     )

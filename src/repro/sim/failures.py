@@ -101,5 +101,18 @@ class FailureSchedule:
     def faults_of(self, kind: str) -> List[FaultRecord]:
         return [r for r in self.records if r.kind == kind]
 
+    def records_between(self, t0: float, t1: float) -> List[FaultRecord]:
+        """Faults whose injection time falls in ``[t0, t1]``, in time order.
+
+        The query tests want: "what actually went wrong inside this
+        window" — e.g. assert that exactly one crash was injected during
+        the measurement span instead of re-deriving it from the schedule
+        parameters inline.
+        """
+        return sorted(
+            (r for r in self.records if t0 <= r.at_ms <= t1),
+            key=lambda r: (r.at_ms, r.target, r.kind),
+        )
+
     def __len__(self) -> int:
         return len(self.records)

@@ -353,3 +353,26 @@ class IntervalSet:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"IntervalSet({self.as_tuples()!r})"
+
+
+def coalesce_ranges(ranges: Iterable[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Normalize ``(start, end)`` pairs: sort, merge overlap and adjacency.
+
+    The dissemination paths build range lists incrementally (per-tick
+    appends when filtering D events down to S for a child, per-interval
+    appends when answering nacks), which leaves many adjacent fragments;
+    a run of silence then ships as many messages' worth of ranges.
+    Coalescing before transmission turns each maximal run back into a
+    single ``(start, end)`` pair.  Ticks covered are preserved exactly.
+    """
+    merged: List[Tuple[int, int]] = []
+    for start, end in sorted(ranges):
+        if start > end:
+            raise ValueError(f"empty range ({start}, {end})")
+        if merged and start <= merged[-1][1] + 1:
+            last_start, last_end = merged[-1]
+            if end > last_end:
+                merged[-1] = (last_start, end)
+        else:
+            merged.append((start, end))
+    return merged

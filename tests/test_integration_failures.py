@@ -13,6 +13,7 @@ import pytest
 
 from repro import (
     DurableSubscriber,
+    FailureSchedule,
     In,
     Node,
     PeriodicPublisher,
@@ -67,8 +68,8 @@ class TestSHBFailure:
         overlay = build(sim)
         shb = overlay.shbs[0]
         subs, pub = make_world(sim, overlay)
-        sim.run_until(crash_at)
-        shb.fail_for(down)
+        faults = FailureSchedule(sim)
+        faults.crash_broker(shb, crash_at, down)
         sim.run_until(crash_at + down + 500)
         for sub in subs:
             if not sub.connected:
@@ -76,6 +77,12 @@ class TestSHBFailure:
         sim.run_until(crash_at + down + 12_000)
         pub.stop()
         sim.run_until(crash_at + down + 17_000)
+        # Exactly the scheduled fault happened, inside the crash window.
+        window = faults.records_between(crash_at, crash_at + down)
+        assert [(r.kind, r.target, r.at_ms) for r in window] == [
+            ("crash", shb.name, crash_at)
+        ]
+        assert faults.records_between(0, crash_at - 1) == []
         assert_exactly_once(subs, pub)
 
     def test_repeated_shb_crashes(self):
@@ -83,10 +90,11 @@ class TestSHBFailure:
         overlay = build(sim)
         shb = overlay.shbs[0]
         subs, pub = make_world(sim, overlay)
+        faults = FailureSchedule(sim)
+        faults.repeated_crashes(shb, first_at_ms=3_000, down_ms=1_000,
+                                period_ms=6_000, count=3)
         t = 3_000
         for _ in range(3):
-            sim.run_until(t)
-            shb.fail_for(1_000)
             sim.run_until(t + 1_500)
             for sub in subs:
                 if not sub.connected:
@@ -95,6 +103,11 @@ class TestSHBFailure:
         sim.run_until(t + 5_000)
         pub.stop()
         sim.run_until(t + 10_000)
+        # One crash per cycle; records_between slices the cycles apart.
+        assert len(faults.records_between(0, t)) == 3
+        for k in range(3):
+            cycle = faults.records_between(3_000 + k * 6_000, 3_000 + k * 6_000 + 5_999)
+            assert len(cycle) == 1 and cycle[0].at_ms == 3_000 + k * 6_000
         assert_exactly_once(subs, pub)
 
     def test_mass_catchup_after_recovery(self):
@@ -103,14 +116,15 @@ class TestSHBFailure:
         overlay = build(sim)
         shb = overlay.shbs[0]
         subs, pub = make_world(sim, overlay, n_subs=8)
-        sim.run_until(5_000)
-        shb.fail_for(4_000)
+        faults = FailureSchedule(sim)
+        faults.crash_broker(shb, 5_000, 4_000)
         sim.run_until(12_000)  # constream recovers first
         for sub in subs:
             sub.connect(shb)
         sim.run_until(25_000)
         pub.stop()
         sim.run_until(30_000)
+        assert [r.target for r in faults.records_between(5_000, 9_000)] == [shb.name]
         assert_exactly_once(subs, pub, matches_per_event=4)
         # 8 subscribers x 1 pubend catchups completed
         assert len(shb.catchup_durations_ms) == 8

@@ -11,17 +11,23 @@ gets the adversarial treatment.
 
 from collections import Counter
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro import (
     DurableSubscriber,
+    FailureSchedule,
     In,
     Node,
     PeriodicPublisher,
     Scheduler,
     build_two_broker,
 )
+
+# Delivery batching windows (ms): off, sub-latency, super-latency.  The
+# invariant must hold identically in all three regimes.
+BATCH_WINDOWS = [0.0, 1.0, 10.0]
 
 # A subscriber schedule: list of (disconnect_at, down_duration) pairs.
 sub_schedule = st.lists(
@@ -36,19 +42,26 @@ shb_crash = st.one_of(
 )
 
 
+@pytest.mark.parametrize("batch_window_ms", BATCH_WINDOWS)
 @given(
     schedules=st.lists(sub_schedule, min_size=1, max_size=3),
     crash=shb_crash,
     rate=st.sampled_from([50, 120, 200]),
 )
 @settings(
-    max_examples=25,
+    max_examples=10,
     deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        HealthCheck.differing_executors,
+    ],
 )
-def test_exactly_once_under_random_churn_and_crashes(schedules, crash, rate):
+def test_exactly_once_under_random_churn_and_crashes(
+    batch_window_ms, schedules, crash, rate
+):
     sim = Scheduler()
-    overlay = build_two_broker(sim, ["P1"])
+    overlay = build_two_broker(sim, ["P1"], batch_window_ms=batch_window_ms)
     shb = overlay.shbs[0]
     machine = Node(sim, "clients")
 
@@ -84,12 +97,18 @@ def test_exactly_once_under_random_churn_and_crashes(schedules, crash, rate):
             t += down
             horizon = max(horizon, t + 2_000)
 
+    faults = FailureSchedule(sim)
     if crash is not None:
         crash_at, down = crash
-        sim.at(crash_at, shb.fail_for, down)
+        faults.crash_broker(shb, crash_at, down)
         horizon = max(horizon, crash_at + down + 2_000)
 
     sim.run_until(horizon)
+    # The schedule records what was actually injected.
+    crashes = faults.records_between(0.0, horizon)
+    assert len(crashes) == (0 if crash is None else 1)
+    if crash is not None:
+        assert crashes[0].kind == "crash" and crashes[0].target == shb.name
     # Quiesce: stop publishing, reconnect stragglers, drain catchups.
     pub.stop()
     for sub in subs:
