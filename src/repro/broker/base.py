@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..core import messages as M
 from ..matching.engine import MatchingEngine
 from ..net.link import Link, LinkEnd
 from ..net.node import Node
@@ -58,6 +59,15 @@ class Broker:
         #: state was lost): knowledge is passed unfiltered — always
         #: correct, merely less efficient — until the child re-syncs.
         self.child_filter_ready: Dict[str, bool] = {}
+        #: Epoch-verified subscription refresh intake (lossy-link safe):
+        #: adds tagged with an epoch are staged here per child, and only
+        #: an epoch's complete set — count-checked against its
+        #: SubscriptionSync — atomically replaces the live union.  A
+        #: lost add therefore can never warm an incomplete union (which
+        #: would filter events the child needs: silent loss).
+        self._staged_subs: Dict[str, Dict[int, Dict[str, object]]] = {}
+        self._applied_sub_epoch: Dict[str, int] = {}
+        self._sub_epoch_counter = 0
         self.node.on_recover(self._mark_children_cold)
         self.node.on_recover(self._on_node_recover)
 
@@ -112,6 +122,10 @@ class Broker:
         )
         parent.wire_child(link.a_to_b, link.b_to_a, child)
         child.wire_parent(link.b_to_a, link.a_to_b, parent)
+        # Eager re-sync after a partition heals, instead of waiting out
+        # the next poll/refresh interval.
+        link.on_restore(lambda: parent._on_child_link_restored(child.name))
+        link.on_restore(child._on_uplink_restored)
         return link
 
     @property
@@ -139,6 +153,70 @@ class Broker:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    # Epoch-verified subscription intake (shared by PHB / intermediate)
+    # ------------------------------------------------------------------
+    def _on_subscription_add(self, child: str, msg: M.SubscriptionAdd) -> None:
+        if msg.epoch is None:
+            # Immediate add (new subscriber): widen the live union right
+            # away.  Widening can only un-filter, so a duplicate or
+            # late-arriving copy is harmless.
+            self.child_engines[child].add(msg.sub_id, msg.predicate)
+            return
+        if msg.epoch <= self._applied_sub_epoch.get(child, -1):
+            return  # straggler from an epoch already applied
+        staged = self._staged_subs.setdefault(child, {})
+        for stale in [e for e in staged if e < msg.epoch]:
+            del staged[stale]  # the child moved on; older epochs are dead
+        staged.setdefault(msg.epoch, {})[msg.sub_id] = msg.predicate
+
+    def _on_subscription_remove(self, child: str, msg: M.SubscriptionRemove) -> None:
+        self.child_engines[child].remove(msg.sub_id)
+        for epoch_subs in self._staged_subs.get(child, {}).values():
+            epoch_subs.pop(msg.sub_id, None)
+
+    def _on_subscription_sync(self, child: str, msg: M.SubscriptionSync) -> bool:
+        """Apply a sync; returns True iff the child's union is now warm.
+
+        An epoch-tagged sync only takes effect when every add of that
+        epoch arrived (count check): the staged set then atomically
+        replaces the live union.  On a mismatch (adds lost or still in
+        flight) nothing changes — the child's next refresh retries with
+        a fresh epoch.  An untagged sync keeps the legacy behavior of
+        trusting the incrementally-built union.
+        """
+        if msg.epoch is None:
+            self.child_filter_ready[child] = True
+            return True
+        if msg.epoch <= self._applied_sub_epoch.get(child, -1):
+            return self.child_filter_ready.get(child, False)
+        staged = self._staged_subs.get(child, {}).pop(msg.epoch, {})
+        if len(staged) != msg.sub_count:
+            return self.child_filter_ready.get(child, False)
+        engine = MatchingEngine()
+        for sub_id, predicate in staged.items():
+            engine.add(sub_id, predicate)
+        self.child_engines[child] = engine
+        self._applied_sub_epoch[child] = msg.epoch
+        remaining = self._staged_subs.get(child)
+        if remaining:
+            for stale in [e for e in remaining if e <= msg.epoch]:
+                del remaining[stale]
+        self.child_filter_ready[child] = True
+        return True
+
+    def _next_sub_epoch(self) -> int:
+        """A fresh refresh-epoch number for this broker's own uplink.
+
+        Clamping to sim time keeps epochs monotonic even across this
+        broker's crashes, so a recovered broker's refreshes are never
+        mistaken for stragglers of its previous life.
+        """
+        self._sub_epoch_counter = max(
+            self._sub_epoch_counter + 1, int(self.scheduler.now)
+        )
+        return self._sub_epoch_counter
+
+    # ------------------------------------------------------------------
     # Failure injection
     # ------------------------------------------------------------------
     def crash(self) -> None:
@@ -154,9 +232,24 @@ class Broker:
     def _mark_children_cold(self) -> None:
         for child in self.child_filter_ready:
             self.child_filter_ready[child] = False
+        # Staged epochs and the applied-epoch floor were volatile too;
+        # forgetting the floor lets a child whose own epoch counter
+        # restarted (it also crashed) re-warm us.
+        self._staged_subs.clear()
+        self._applied_sub_epoch.clear()
 
     def _on_node_recover(self) -> None:
         """Subclasses rebuild volatile state here."""
+
+    def _on_uplink_restored(self) -> None:
+        """The link toward the parent came back after a partition.
+
+        Subclasses re-sync eagerly (refresh subscriptions, re-report
+        release, kick curiosity); the base class does nothing.
+        """
+
+    def _on_child_link_restored(self, child: str) -> None:
+        """The link toward ``child`` came back after a partition."""
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name}>"

@@ -60,12 +60,25 @@ class IntermediateBroker(Broker):
         speed: float = 1.0,
         node: Optional[Node] = None,
         cache_span_ms: int = 30_000,
+        subscription_refresh_ms: float = 2_000.0,
+        release_resend_ms: float = 1_000.0,
     ) -> None:
         super().__init__(scheduler, name, cost_model, speed, node)
         self.cache_span_ms = cache_span_ms
+        self.subscription_refresh_ms = subscription_refresh_ms
+        self.release_resend_ms = release_resend_ms
         self._relays: Dict[str, _PubendRelay] = {}
         self.cache_hits = 0
         self.cache_miss_ticks = 0
+        # Lossy-link resilience: children refresh *us* with their own
+        # epochs; we refresh the parent with ours (forwarding child
+        # epochs verbatim would interleave several children's epoch
+        # numbering on one uplink).  Releases are re-reported
+        # periodically because the changed-aggregate dedup in
+        # _on_release would otherwise never resend a lost update.
+        self._upstream_refresh_due = False
+        self.scheduler.every(self.subscription_refresh_ms, self._refresh_upstream)
+        self.scheduler.every(self.release_resend_ms, self._resend_release)
 
     def _relay(self, pubend: str) -> _PubendRelay:
         relay = self._relays.get(pubend)
@@ -154,18 +167,26 @@ class IntermediateBroker(Broker):
         elif isinstance(msg, M.ReleaseUpdate):
             self._on_release(child, msg)
         elif isinstance(msg, M.SubscriptionAdd):
-            self.child_engines[child].add(msg.sub_id, msg.predicate)
-            self.send_up(msg)
+            self._on_subscription_add(child, msg)
+            if msg.epoch is None:
+                # Immediate adds still propagate straight up; epoch-
+                # tagged refresh adds are covered by _refresh_upstream.
+                self.send_up(msg)
         elif isinstance(msg, M.SubscriptionRemove):
-            self.child_engines[child].remove(msg.sub_id)
+            self._on_subscription_remove(child, msg)
             self.send_up(msg)
         elif isinstance(msg, M.SubscriptionSync):
-            self.child_filter_ready[child] = True
+            warmed = self._on_subscription_sync(child, msg)
             # This broker's own union is complete only once every
             # child has re-synced; then tell the parent.
-            if all(self.child_filter_ready.values()):
-                total = sum(len(e) for e in self.child_engines.values())
-                self.send_up(M.SubscriptionSync(total))
+            if warmed and all(self.child_filter_ready.values()):
+                if msg.epoch is None:
+                    total = sum(len(e) for e in self.child_engines.values())
+                    self.send_up(M.SubscriptionSync(total))
+                elif self._upstream_refresh_due:
+                    # First full warm-up after our recovery: push the
+                    # verified union up now rather than next interval.
+                    self._refresh_upstream()
 
     def _on_nack(self, child: str, nack: M.Nack) -> None:
         relay = self._relay(nack.pubend)
@@ -213,7 +234,52 @@ class IntermediateBroker(Broker):
             self.send_up(M.ReleaseUpdate(msg.pubend, agg[0], agg[1]))
 
     # ------------------------------------------------------------------
+    # Lossy-link resilience (periodic upstream re-sync)
+    # ------------------------------------------------------------------
+    def _refresh_upstream(self) -> None:
+        """Re-send the whole subscription union upstream, epoch-tagged.
+
+        Skipped while any child is cold: an incomplete union must not
+        warm the parent (it would filter events the cold child needs).
+        """
+        if self._parent_send is None or self.node.is_down:
+            return
+        if not self.child_filter_ready or not all(self.child_filter_ready.values()):
+            return
+        self._upstream_refresh_due = False
+        epoch = self._next_sub_epoch()
+        count = 0
+        for engine in self.child_engines.values():
+            for sub_id in engine.subscription_ids():
+                self.send_up(
+                    M.SubscriptionAdd(sub_id, engine.filter_of(sub_id), epoch=epoch)
+                )
+                count += 1
+        self.send_up(M.SubscriptionSync(count, epoch=epoch))
+
+    def _resend_release(self) -> None:
+        if self.node.is_down:
+            return
+        for pubend, relay in self._relays.items():
+            agg = relay.release_agg.aggregate()
+            if agg is not None:
+                relay.last_release_sent = agg
+                self.send_up(M.ReleaseUpdate(pubend, agg[0], agg[1]))
+
+    # ------------------------------------------------------------------
     # Failure handling: an intermediate has no persistent state
     # ------------------------------------------------------------------
     def _on_node_recover(self) -> None:
         self._relays.clear()
+        self._upstream_refresh_due = True
+
+    def _on_uplink_restored(self) -> None:
+        """Partition toward the parent healed: re-sync eagerly."""
+        if self.node.is_down:
+            return
+        self._refresh_upstream()
+        self._resend_release()
+        for relay in self._relays.values():
+            # Forwards suppressed as "already asked" died with the old
+            # connection; let the next child nack go straight up.
+            relay.consolidator.reset_suppression()

@@ -197,11 +197,11 @@ class PublisherHostingBroker(Broker):
             if pubend is not None:
                 pubend.on_release_report(child, msg.released, msg.latest_delivered)
         elif isinstance(msg, M.SubscriptionAdd):
-            self.child_engines[child].add(msg.sub_id, msg.predicate)
+            self._on_subscription_add(child, msg)
         elif isinstance(msg, M.SubscriptionRemove):
-            self.child_engines[child].remove(msg.sub_id)
+            self._on_subscription_remove(child, msg)
         elif isinstance(msg, M.SubscriptionSync):
-            self.child_filter_ready[child] = True
+            self._on_subscription_sync(child, msg)
 
     def _serve_nack(self, child: str, nack: M.Nack) -> None:
         pubend = self.pubends.get(nack.pubend)

@@ -22,6 +22,7 @@ exact scenario of Figures 7 and 8.
 
 from __future__ import annotations
 
+import random
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..core import messages as M
@@ -67,6 +68,10 @@ class SubscriberHostingBroker(Broker):
         use_pfs_for_catchup: bool = True,
         subscription_refresh_ms: float = 2_000.0,
         batch_window_ms: float = 0.0,
+        nack_backoff_factor: float = 1.0,
+        nack_backoff_max_ms: Optional[float] = None,
+        nack_jitter_ms: float = 0.0,
+        nack_retry_budget: Optional[int] = None,
     ) -> None:
         super().__init__(scheduler, name, cost_model, speed, node)
         #: Delivery batching (0 = the seed's one-job-per-message path).
@@ -91,6 +96,13 @@ class SubscriberHostingBroker(Broker):
         self.nack_consolidation = nack_consolidation
         self.use_pfs_for_catchup = use_pfs_for_catchup
         self.subscription_refresh_ms = subscription_refresh_ms
+        #: Re-nack policy for the head curiosity streams.  The defaults
+        #: reproduce fixed-interval retries exactly; chaos scenarios
+        #: turn on backoff + jitter + a budget (see CuriosityStream).
+        self.nack_backoff_factor = nack_backoff_factor
+        self.nack_backoff_max_ms = nack_backoff_max_ms
+        self.nack_jitter_ms = nack_jitter_ms
+        self.nack_retry_budget = nack_retry_budget
 
         # -- persistent stores (survive crashes) -----------------------
         self.meta_table = PersistentTable(f"{name}.meta", self.disk)
@@ -152,11 +164,21 @@ class SubscriberHostingBroker(Broker):
                 deliver_batch=self._deliver_batch if self.batch_window_ms > 0 else None,
             )
             self.constreams[pubend] = constream
+            jitter_rng = (
+                random.Random(f"{self.name}:{pubend}:nack-jitter")
+                if self.nack_jitter_ms > 0.0
+                else None
+            )
             self.head_curiosity[pubend] = CuriosityStream(
                 self.scheduler,
                 pubend,
                 send_nack=lambda ranges, p=pubend: self.send_up(M.Nack(p, ranges.as_tuples())),
                 retry_ms=self.head_nack_retry_ms,
+                backoff_factor=self.nack_backoff_factor,
+                backoff_max_ms=self.nack_backoff_max_ms,
+                jitter_ms=self.nack_jitter_ms,
+                retry_budget=self.nack_retry_budget,
+                rng=jitter_rng,
             )
             self.consolidators[pubend] = NackConsolidator(
                 self.scheduler, suppress=self.nack_consolidation
@@ -579,9 +601,23 @@ class SubscriberHostingBroker(Broker):
             self.head_curiosity[pubend].set_want(unknown)
 
     def _refresh_subscriptions(self) -> None:
+        """Epoch-tagged full-union refresh toward the parent.
+
+        The receiving broker stages the epoch's adds and swaps them in
+        only when the count matches the sync (see Broker), so a refresh
+        partially eaten by a lossy link can never warm an incomplete
+        union upstream; the next refresh simply retries.
+        """
+        epoch = self._next_sub_epoch()
+        count = 0
         for sub in self.registry.all():
-            self.send_up(M.SubscriptionAdd(self._global_sub_id(sub.sub_id), sub.predicate))
-        self.send_up(M.SubscriptionSync(len(self.registry)))
+            self.send_up(
+                M.SubscriptionAdd(
+                    self._global_sub_id(sub.sub_id), sub.predicate, epoch=epoch
+                )
+            )
+            count += 1
+        self.send_up(M.SubscriptionSync(count, epoch=epoch))
 
     def _commit_tables(self) -> None:
         self.meta_table.commit()
@@ -617,6 +653,24 @@ class SubscriberHostingBroker(Broker):
         """
         self._build_volatile()
         self._refresh_subscriptions()
+
+    def _on_uplink_restored(self) -> None:
+        """Partition toward the parent healed: re-sync eagerly.
+
+        Everything this SHB said during the outage is gone — refresh
+        the subscription union, re-report release levels, and re-nack
+        outstanding curiosity instead of waiting out retry windows.
+        """
+        if self.node.is_down:
+            return
+        self._refresh_subscriptions()
+        self._report_release()
+        for curiosity in self.head_curiosity.values():
+            curiosity.kick()
+        for consolidator in self.consolidators.values():
+            consolidator.reset_suppression()
+        for catchup in self.catchups.values():
+            catchup.curiosity.kick()
 
     # ------------------------------------------------------------------
     # Introspection for experiments

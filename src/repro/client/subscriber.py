@@ -57,6 +57,7 @@ class DurableSubscriber:
         commit_every: int = 1,
         record_events: bool = False,
         on_event: Optional[object] = None,
+        connect_retry_ms: Optional[float] = None,
     ) -> None:
         self.scheduler = scheduler
         self.sub_id = sub_id
@@ -68,6 +69,13 @@ class DurableSubscriber:
         #: Optional application callback invoked with each EventMessage
         #: as it is consumed (used e.g. for latency measurement).
         self.on_event = on_event
+        #: When set, a ConnectRequest that has not been answered by a
+        #: ConnectAccept is retransmitted every this-many ms.  Without
+        #: it, a request eaten by a down SHB leaves the client believing
+        #: it is connected while the SHB has no session — wedged until
+        #: someone notices.  ``None`` (the default) keeps the legacy
+        #: no-retry behavior and adds no scheduler events.
+        self.connect_retry_ms = connect_retry_ms
         self.ct = CheckpointToken()
         self.committed_ct = CheckpointToken()
         self._since_commit = 0
@@ -75,6 +83,8 @@ class DurableSubscriber:
         self._link: Optional[Link] = None
         self._send: Optional[LinkEnd] = None
         self._ack_timer: Optional[PeriodicHandle] = None
+        self._connect_timer: Optional[PeriodicHandle] = None
+        self._pending_request: Optional[M.ConnectRequest] = None
         self._first_connect_done = False
         self.connected = False
         self.stats = DeliveryStats()
@@ -123,6 +133,11 @@ class DurableSubscriber:
         self._send.send(request)
         self.connected = True
         self._ack_timer = self.scheduler.every(self.ack_interval_ms, self._send_ack)
+        if self.connect_retry_ms is not None:
+            self._pending_request = request
+            self._connect_timer = self.scheduler.every(
+                self.connect_retry_ms, self._retry_connect
+            )
 
     def disconnect(self) -> None:
         """Graceful disconnect (sends a DisconnectRequest first)."""
@@ -148,9 +163,24 @@ class DurableSubscriber:
         if self._ack_timer is not None:
             self._ack_timer.cancel()
             self._ack_timer = None
+        self._cancel_connect_retry()
         self.connected = False
         self._link = None
         self._send = None
+
+    def _cancel_connect_retry(self) -> None:
+        if self._connect_timer is not None:
+            self._connect_timer.cancel()
+            self._connect_timer = None
+        self._pending_request = None
+
+    def _retry_connect(self) -> None:
+        """Retransmit an unanswered ConnectRequest (the SHB may have
+        been down, or crashed after receiving it but before accepting)."""
+        if not self.connected or self._pending_request is None or self._send is None:
+            self._cancel_connect_retry()
+            return
+        self._send.send(self._pending_request)
 
     def _on_link_down(self) -> None:
         # SHB crashed (or the link was severed out from under us).
@@ -171,6 +201,7 @@ class DurableSubscriber:
             self._consume_marker(msg.pubend, msg.t, is_gap=True)
 
     def _on_accept(self, msg: M.ConnectAccept) -> None:
+        self._cancel_connect_retry()
         if not self._first_connect_done:
             # The SHB assigned our starting point; adopt it wholesale.
             self.ct = CheckpointToken(msg.checkpoint)

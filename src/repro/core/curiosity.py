@@ -18,6 +18,7 @@ back, while forwarding each range upstream only once per retry window.
 
 from __future__ import annotations
 
+import random
 from typing import Callable, Dict, Hashable, List, Optional
 
 from ..net.simtime import PeriodicHandle, Scheduler
@@ -25,7 +26,19 @@ from ..util.intervals import IntervalSet
 
 
 class CuriosityStream:
-    """Tracks wanted tick ranges for one pubend and emits paced nacks."""
+    """Tracks wanted tick ranges for one pubend and emits paced nacks.
+
+    Re-nack pacing hardens against lossy links: when the same ranges
+    keep being re-nacked without progress (the retry *streak*), the
+    retry interval grows by ``backoff_factor`` per streak step up to
+    ``backoff_max_ms``, optionally jittered by up to ``jitter_ms`` (to
+    de-synchronize recovering streams), and once the streak exceeds
+    ``retry_budget`` further re-nacks are suppressed until knowledge
+    for a tracked range actually arrives.  The defaults (factor 1.0,
+    no jitter, no budget) reproduce the fixed-interval behavior
+    exactly, draw no random numbers, and leave healthy-run transcripts
+    untouched.
+    """
 
     def __init__(
         self,
@@ -34,12 +47,28 @@ class CuriosityStream:
         send_nack: Callable[[IntervalSet], None],
         poll_ms: float = 20.0,
         retry_ms: float = 1000.0,
+        backoff_factor: float = 1.0,
+        backoff_max_ms: Optional[float] = None,
+        jitter_ms: float = 0.0,
+        retry_budget: Optional[int] = None,
+        rng: Optional[random.Random] = None,
     ) -> None:
+        if backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1.0")
+        if jitter_ms < 0.0:
+            raise ValueError("jitter_ms must be non-negative")
         self.scheduler = scheduler
         self.pubend = pubend
         self._send_nack = send_nack
         self.poll_ms = poll_ms
         self.retry_ms = retry_ms
+        self.backoff_factor = backoff_factor
+        self.backoff_max_ms = (
+            backoff_max_ms if backoff_max_ms is not None else retry_ms * 8.0
+        )
+        self.jitter_ms = jitter_ms
+        self.retry_budget = retry_budget
+        self._rng = rng
         self._wanted = IntervalSet()
         # Recently-nacked ranges, kept in two generations rotated every
         # ``retry_ms``: a range is suppressed for between one and two
@@ -50,11 +79,18 @@ class CuriosityStream:
         self._gen_cur = IntervalSet()
         self._gen_prev = IntervalSet()
         self._rotated_at = scheduler.now
+        self._rotation_interval = retry_ms
         self._dirty = True  # something changed since the last poll
         self._timer: Optional[PeriodicHandle] = None
+        # Ranges nacked at least once and not yet resolved: a due range
+        # intersecting this set is a *retry*, which advances the streak.
+        self._renacked = IntervalSet()
+        self._retry_streak = 0
         self.nacks_sent = 0
         self.ticks_nacked = 0
         self.ranges_nacked = 0  # interval fragments across all nacks
+        self.renacks = 0  # nacks that repeated an already-nacked range
+        self.budget_suppressed = 0  # re-nacks withheld by the retry budget
 
     # ------------------------------------------------------------------
     # Interest management
@@ -80,6 +116,13 @@ class CuriosityStream:
         """
         self._wanted = ranges.copy()
         self._dirty = True
+        if self._renacked:
+            # Ranges that dropped out of the recomputed want set were
+            # satisfied some other way — that counts as progress.
+            pruned = self._renacked.intersection(self._wanted)
+            if pruned.tick_count() != self._renacked.tick_count():
+                self._retry_streak = 0
+            self._renacked = pruned
         if self._wanted:
             self._ensure_timer()
 
@@ -87,11 +130,19 @@ class CuriosityStream:
         """Knowledge for ``[start, end]`` arrived; stop asking for it."""
         self._wanted.remove(start, end)
         self._dirty = True
+        if self._renacked and self._renacked.intersection(
+            IntervalSet.span(start, end)
+        ):
+            self._renacked.remove(start, end)
+            self._retry_streak = 0  # progress: retries are working again
 
     def resolve_below(self, t: int) -> None:
         """Everything below ``t`` is resolved (cursor advanced past it)."""
         self._wanted.chop_below(t)
         self._dirty = True
+        if self._renacked and self._renacked.min() < t:
+            self._renacked.chop_below(t)
+            self._retry_streak = 0
 
     @property
     def outstanding(self) -> IntervalSet:
@@ -111,7 +162,7 @@ class CuriosityStream:
 
     def _poll(self) -> None:
         now = self.scheduler.now
-        if now - self._rotated_at >= self.retry_ms:
+        if now - self._rotated_at >= self._rotation_interval:
             self._gen_prev = self._gen_cur
             self._gen_cur = IntervalSet()
             self._rotated_at = now
@@ -126,12 +177,58 @@ class CuriosityStream:
         self._dirty = False
         due = self._wanted.difference(self._gen_cur)
         due.difference_update(self._gen_prev)
-        if due:
-            self.nacks_sent += 1
-            self.ticks_nacked += due.tick_count()
-            self.ranges_nacked += len(due)
-            self._gen_cur.update(due)
-            self._send_nack(due)
+        if not due:
+            return
+        repeats = due.intersection(self._renacked) if self._renacked else IntervalSet()
+        if repeats:
+            self._retry_streak += 1
+            if self.retry_budget is not None and self._retry_streak > self.retry_budget:
+                # Budget exhausted: withhold the repeats (fresh curiosity
+                # still flows).  Knowledge arriving for a tracked range
+                # resets the streak and re-arms retries.
+                self.budget_suppressed += 1
+                self._gen_cur.update(repeats)
+                due.difference_update(repeats)
+                if not due:
+                    self._rotation_interval = self._next_interval()
+                    return
+            else:
+                self.renacks += 1
+        self.nacks_sent += 1
+        self.ticks_nacked += due.tick_count()
+        self.ranges_nacked += len(due)
+        self._gen_cur.update(due)
+        self._renacked.update(due)
+        self._send_nack(due)
+        self._rotation_interval = self._next_interval()
+
+    def _next_interval(self) -> float:
+        interval = self.retry_ms
+        if self.backoff_factor > 1.0 and self._retry_streak:
+            interval = min(
+                self.retry_ms * self.backoff_factor**self._retry_streak,
+                self.backoff_max_ms,
+            )
+        if self.jitter_ms > 0.0 and self._rng is not None:
+            interval += self._rng.uniform(0.0, self.jitter_ms)
+        return interval
+
+    def kick(self) -> None:
+        """Forget suppression and re-nack everything outstanding now.
+
+        Called when a severed upstream link is restored: nacks in flight
+        on the old connection died with it, so waiting out the retry
+        window would only add latency to recovery.
+        """
+        if not self._wanted:
+            return
+        self._gen_cur.clear()
+        self._gen_prev.clear()
+        self._retry_streak = 0
+        self._rotation_interval = self.retry_ms
+        self._rotated_at = self.scheduler.now
+        self._dirty = True
+        self._ensure_timer()
 
     @property
     def coalescing_ratio(self) -> float:
@@ -153,6 +250,8 @@ class CuriosityStream:
         self._wanted.clear()
         self._gen_cur.clear()
         self._gen_prev.clear()
+        self._renacked.clear()
+        self._retry_streak = 0
 
 
 class NackConsolidator:
@@ -245,6 +344,17 @@ class NackConsolidator:
 
     def drop_requester(self, requester: Hashable) -> None:
         self._interest.pop(requester, None)
+
+    def reset_suppression(self) -> None:
+        """Forget the forwarded-recently window (upstream link restored).
+
+        Forwards suppressed because "we already asked" are wrong once
+        the connection that carried the ask is gone; the next
+        :meth:`to_forward` after this sends everything due again.
+        """
+        self._fwd_cur.clear()
+        self._fwd_prev.clear()
+        self._rotated_at = self.scheduler.now
 
     @property
     def pending_requesters(self) -> int:

@@ -24,8 +24,9 @@ Plus the client↔SHB control plane (connect/ack/publish).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..matching.predicates import Predicate
 from ..util.intervals import coalesce_ranges
@@ -33,6 +34,55 @@ from .events import Event
 
 #: Estimated control-message framing bytes, used for CPU/disk cost models.
 CONTROL_HEADER_BYTES = 48
+
+
+# ---------------------------------------------------------------------------
+# Wire framing (CRC-checked transmission envelope)
+# ---------------------------------------------------------------------------
+def frame_checksum(payload: Any) -> int:
+    """Deterministic CRC32 of a message (or batch of messages).
+
+    The simulation never serializes messages to bytes, so the checksum
+    is computed over ``repr`` — stable within a process because every
+    message type is a plain dataclass and dict ordering is insertion
+    ordering.  Only links with payload-corruption faults enabled pay
+    this cost; the fault-0 path never builds frames.
+    """
+    return zlib.crc32(repr(payload).encode())
+
+
+class Frame:
+    """A checksummed transmission envelope used by lossy links.
+
+    :class:`~repro.net.link.LinkEnd` wraps each transmission in a frame
+    when corruption faults are enabled; the receiving end verifies the
+    CRC before unwrapping and silently drops (and counts) frames whose
+    payload was corrupted in flight.  The protocol then recovers the
+    lost information exactly as it recovers a dropped message — via
+    curiosity/nacks or periodic retransmission.
+    """
+
+    __slots__ = ("payload", "crc")
+
+    def __init__(self, payload: Any, crc: Optional[int] = None) -> None:
+        self.payload = payload
+        self.crc = frame_checksum(payload) if crc is None else crc
+
+    def verify(self) -> bool:
+        """True when the payload still matches the sender-computed CRC."""
+        return self.crc == frame_checksum(self.payload)
+
+    def corrupt_in_flight(self) -> None:
+        """Simulate bit errors on the wire.
+
+        Payload objects are shared with the sender, so rather than
+        mutating them the frame records the damage in its checksum —
+        indistinguishable to the receiver from flipped payload bits.
+        """
+        self.crc ^= 0x5A5A5A5A
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Frame crc={self.crc:#010x} payload={type(self.payload).__name__}>"
 
 
 # ---------------------------------------------------------------------------
@@ -127,10 +177,19 @@ class ReleaseUpdate:
 
 @dataclass
 class SubscriptionAdd:
-    """Propagates a subscription's filter upstream for routing/filtering."""
+    """Propagates a subscription's filter upstream for routing/filtering.
+
+    ``epoch`` distinguishes the two ways an add travels: ``None`` marks
+    an immediate add (a new subscription) applied straight to the live
+    union; an integer marks one element of a numbered full-union
+    refresh, staged by the receiver and swapped in atomically when the
+    matching :class:`SubscriptionSync` confirms the whole refresh
+    arrived (see that class).
+    """
 
     sub_id: str
     predicate: Predicate
+    epoch: Optional[int] = None
 
     @property
     def size_bytes(self) -> int:
@@ -159,9 +218,17 @@ class SubscriptionSync:
     after periodically re-sending all their SubscriptionAdds;
     intermediate brokers forward it once every one of their own
     children is warm.
+
+    ``epoch`` ties the sync to a numbered refresh: the receiver marks
+    the child warm only if it actually received all ``sub_count`` adds
+    of that epoch.  On a lossless link the count always matches; on a
+    lossy one a partial refresh leaves the child cold (unfiltered —
+    safe) until a later refresh survives intact.  ``epoch=None`` keeps
+    the legacy unconditional-warm behavior for hand-built tests.
     """
 
     sub_count: int
+    epoch: Optional[int] = None
 
     @property
     def size_bytes(self) -> int:

@@ -103,6 +103,20 @@ class MetricsCollector:
             "link.msgs_per_event", lambda: stats.transmissions, events_published
         )
 
+    def link_faults(self, scheduler: Scheduler) -> None:
+        """Register the injected-fault counters from the scheduler's
+        shared :class:`~repro.net.link.LinkStats`: messages dropped by
+        fault injection, dropped for failing their frame CRC, duplicated
+        and reordered (plus teardown drops under ``link.dropped``)."""
+        from ..net.link import link_stats
+
+        stats = link_stats(scheduler)
+        self.gauge("link.fault_dropped", lambda: float(stats.fault_dropped))
+        self.gauge("link.corrupt_dropped", lambda: float(stats.corrupt_dropped))
+        self.gauge("link.duplicated", lambda: float(stats.duplicated))
+        self.gauge("link.reordered", lambda: float(stats.reordered))
+        self.gauge("link.dropped", lambda: float(stats.dropped))
+
     # ------------------------------------------------------------------
     # Control
     # ------------------------------------------------------------------

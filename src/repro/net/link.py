@@ -16,14 +16,56 @@ transmission — one scheduled callback and one receiver CPU submission
 (costing the sum of the per-message receive costs) instead of one of
 each per message.  FIFO order and the loss semantics above are
 unchanged; a window of 0 uses the exact unbatched path.
+
+Links optionally misbehave: a :class:`FaultSpec` installed on a
+direction makes it drop, duplicate, reorder (within a bound) or
+corrupt transmissions, each with an independent probability drawn from
+a per-direction seeded RNG.  Corrupt transmissions travel inside a
+CRC-checked :class:`~repro.core.messages.Frame` and are counted and
+discarded by the receiving end, exactly like a frame whose checksum
+fails on a real wire.  With no faults installed (the default) every
+send takes the exact pre-fault code path.
 """
 
 from __future__ import annotations
 
+import random
+from dataclasses import dataclass
 from typing import Any, Callable, List, Optional
 
+from ..core.messages import Frame
 from .node import Node
 from .simtime import Scheduler
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-direction link fault probabilities (all default to healthy).
+
+    ``drop_p``/``dup_p``/``corrupt_p`` apply independently to each
+    transmission (a batched flush is one transmission, like one TCP
+    segment).  ``reorder_p`` delays a transmission by up to
+    ``reorder_max_ms`` *without* holding back later traffic, so
+    successors may overtake it — bounded reordering.
+    """
+
+    drop_p: float = 0.0
+    dup_p: float = 0.0
+    reorder_p: float = 0.0
+    reorder_max_ms: float = 5.0
+    corrupt_p: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_p", "dup_p", "reorder_p", "corrupt_p"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if self.reorder_max_ms < 0:
+            raise ValueError("reorder_max_ms must be non-negative")
+
+    @property
+    def active(self) -> bool:
+        return bool(self.drop_p or self.dup_p or self.reorder_p or self.corrupt_p)
 
 
 class LinkStats:
@@ -42,6 +84,11 @@ class LinkStats:
         self.batches = 0  # transmissions that carried more than one message
         self.largest_batch = 0
         self.dropped = 0
+        # Injected-fault counters (messages, not transmissions).
+        self.fault_dropped = 0
+        self.corrupt_dropped = 0
+        self.duplicated = 0
+        self.reordered = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -56,6 +103,10 @@ class LinkStats:
             "batches": self.batches,
             "largest_batch": self.largest_batch,
             "dropped": self.dropped,
+            "fault_dropped": self.fault_dropped,
+            "corrupt_dropped": self.corrupt_dropped,
+            "duplicated": self.duplicated,
+            "reordered": self.reordered,
             "mean_batch_size": self.mean_batch_size,
         }
 
@@ -87,10 +138,16 @@ class LinkEnd:
         self._last_arrival = 0.0
         self._buffer: List[Any] = []
         self._flush_pending = False
+        self._faults: Optional[FaultSpec] = None
+        self._fault_rng: Optional[random.Random] = None
         self.sent = 0
         self.delivered = 0
         self.dropped = 0
         self.transmissions = 0
+        self.fault_dropped = 0
+        self.corrupt_dropped = 0
+        self.duplicated = 0
+        self.reordered = 0
 
     def on_receive(
         self,
@@ -110,6 +167,23 @@ class LinkEnd:
         self._recv_cost = recv_cost
         self._batch_handler = batch_handler
 
+    def set_faults(self, spec: Optional[FaultSpec], seed: int = 0) -> None:
+        """Install (or clear, with ``None``/inactive spec) fault injection.
+
+        The direction's RNG is derived from ``seed`` plus the endpoint
+        names, so every direction of every link draws an independent but
+        reproducible stream; it persists across spec changes so repeated
+        loss bursts do not replay the same pattern.
+        """
+        if spec is None or not spec.active:
+            self._faults = None
+            return
+        self._faults = spec
+        if self._fault_rng is None:
+            self._fault_rng = random.Random(
+                f"link-faults:{seed}:{self.sender.name}>{self.receiver.name}"
+            )
+
     def send(self, msg: Any) -> None:
         """Transmit ``msg``; it arrives after the link latency, in order.
 
@@ -124,6 +198,9 @@ class LinkEnd:
             self._link.stats.dropped += 1
             return
         if self._link.batch_window_ms <= 0.0:
+            if self._faults is not None:
+                self._transmit_faulty(msg, is_batch=False)
+                return
             scheduler = self._link.scheduler
             arrival = max(scheduler.now + self._link.latency_ms, self._last_arrival)
             self._last_arrival = arrival
@@ -144,11 +221,70 @@ class LinkEnd:
             self.dropped += len(batch)
             self._link.stats.dropped += len(batch)
             return
+        if self._faults is not None:
+            self._transmit_faulty(batch, is_batch=True)
+            return
         scheduler = self._link.scheduler
         arrival = max(scheduler.now + self._link.latency_ms, self._last_arrival)
         self._last_arrival = arrival
         self._record_transmission(len(batch))
         scheduler.at(arrival, self._arrive_batch, batch)
+
+    def _transmit_faulty(self, payload: Any, is_batch: bool) -> None:
+        """The fault-injected transmission path (one TCP-segment analog).
+
+        Fault order per transmission: drop, then corruption (framing),
+        then duplication, then per-copy reordering.  A reordered copy
+        skips the FIFO clamp — later transmissions may overtake it —
+        but stays within ``reorder_max_ms`` of the nominal arrival.
+        """
+        spec, rng = self._faults, self._fault_rng
+        assert spec is not None and rng is not None
+        stats = self._link.stats
+        n = len(payload) if is_batch else 1
+        if spec.drop_p and rng.random() < spec.drop_p:
+            self.fault_dropped += n
+            stats.fault_dropped += n
+            return
+        wire: Any = payload
+        if spec.corrupt_p:
+            wire = Frame(payload)
+            if rng.random() < spec.corrupt_p:
+                wire.corrupt_in_flight()
+        copies = 1
+        if spec.dup_p and rng.random() < spec.dup_p:
+            copies = 2
+            self.duplicated += n
+            stats.duplicated += n
+        scheduler = self._link.scheduler
+        arrive = self._arrive_batch if is_batch else self._arrive
+        for _ in range(copies):
+            if spec.reorder_p and rng.random() < spec.reorder_p:
+                arrival = (
+                    scheduler.now + self._link.latency_ms
+                    + rng.uniform(0.0, spec.reorder_max_ms)
+                )
+                self.reordered += n
+                stats.reordered += n
+            else:
+                arrival = max(scheduler.now + self._link.latency_ms, self._last_arrival)
+                self._last_arrival = arrival
+            self._record_transmission(n)
+            scheduler.at(arrival, arrive, wire)
+
+    def _discard_buffer(self) -> None:
+        """Drop (and count) messages buffered on a torn-down connection.
+
+        Called when the link severs or an endpoint crashes: a batch
+        buffer is in-flight connection state, so delivering it on the
+        *next* connection after a restore would violate the fail-stop
+        loss contract.  Counting keeps delivered+dropped+buffered exact.
+        """
+        if self._buffer:
+            n = len(self._buffer)
+            self._buffer.clear()
+            self.dropped += n
+            self._link.stats.dropped += n
 
     def _record_transmission(self, n_messages: int) -> None:
         self.transmissions += 1
@@ -160,10 +296,23 @@ class LinkEnd:
         if n_messages > stats.largest_batch:
             stats.largest_batch = n_messages
 
+    def _check_frame(self, wire: Any, n: int) -> Optional[Any]:
+        """Unwrap a CRC :class:`Frame`; ``None`` if the checksum fails."""
+        if not isinstance(wire, Frame):
+            return wire
+        if not wire.verify():
+            self.corrupt_dropped += n
+            self._link.stats.corrupt_dropped += n
+            return None
+        return wire.payload
+
     def _arrive(self, msg: Any) -> None:
         if self._link.down or self.receiver.is_down or self._handler is None:
             self.dropped += 1
             self._link.stats.dropped += 1
+            return
+        msg = self._check_frame(msg, 1)
+        if msg is None:
             return
         handler = self._handler
         if not self.receiver.try_submit(self._recv_cost(msg), lambda: handler(msg)):
@@ -172,7 +321,12 @@ class LinkEnd:
             return
         self.delivered += 1
 
-    def _arrive_batch(self, batch: List[Any]) -> None:
+    def _arrive_batch(self, batch: Any) -> None:
+        if isinstance(batch, Frame):
+            unwrapped = self._check_frame(batch, len(batch.payload))
+            if unwrapped is None:
+                return
+            batch = unwrapped
         if self._link.down or self.receiver.is_down or self._handler is None:
             self.dropped += len(batch)
             self._link.stats.dropped += len(batch)
@@ -218,6 +372,7 @@ class Link:
         self.a_to_b = LinkEnd(self, a, b)
         self.b_to_a = LinkEnd(self, b, a)
         self._disconnect_listeners: List[Callable[[], None]] = []
+        self._restore_listeners: List[Callable[[], None]] = []
         # A crash of either endpoint tears the connection down from the
         # point of view of the survivor.
         a.on_crash(self._endpoint_crashed)
@@ -234,20 +389,56 @@ class Link:
     def on_disconnect(self, fn: Callable[[], None]) -> None:
         self._disconnect_listeners.append(fn)
 
+    def on_restore(self, fn: Callable[[], None]) -> None:
+        """Register ``fn`` to run whenever a severed link comes back up.
+
+        Brokers use this to re-sync state eagerly (refresh subscriptions,
+        re-report release levels, kick curiosity) instead of waiting out
+        a poll interval.
+        """
+        self._restore_listeners.append(fn)
+
+    def set_faults(
+        self,
+        a_to_b: Optional[FaultSpec] = None,
+        b_to_a: Optional[FaultSpec] = None,
+        seed: int = 0,
+    ) -> None:
+        """Install fault specs on both directions (``None`` clears one)."""
+        self.a_to_b.set_faults(a_to_b, seed)
+        self.b_to_a.set_faults(b_to_a, seed)
+
+    def clear_faults(self) -> None:
+        self.a_to_b.set_faults(None)
+        self.b_to_a.set_faults(None)
+
     def sever(self) -> None:
         """Administratively cut the link (both directions)."""
         if self.down:
             return
         self.down = True
+        # Teardown loses the connection's buffered (unsent) batches.
+        self.a_to_b._discard_buffer()
+        self.b_to_a._discard_buffer()
         for fn in list(self._disconnect_listeners):
             fn()
 
     def restore(self) -> None:
         """Re-establish a severed link (a fresh FIFO connection)."""
+        was_down = self.down
         self.down = False
+        self.a_to_b._discard_buffer()
+        self.b_to_a._discard_buffer()
         self.a_to_b._last_arrival = 0.0
         self.b_to_a._last_arrival = 0.0
+        if was_down:
+            for fn in list(self._restore_listeners):
+                fn()
 
     def _endpoint_crashed(self) -> None:
+        # The crashed end's buffer is volatile state; the survivor's
+        # buffer dies with the connection.  Both are lost, and counted.
+        self.a_to_b._discard_buffer()
+        self.b_to_a._discard_buffer()
         for fn in list(self._disconnect_listeners):
             fn()

@@ -9,13 +9,14 @@ paper reports.  See DESIGN.md §3 for the experiment index.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from ..broker.topology import (
     build_chain,
     build_single_broker,
     build_star,
+    build_tree,
     build_two_broker,
 )
 from ..client.subscriber import DurableSubscriber
@@ -431,6 +432,270 @@ def run_jms_autoack(
         consumed_rate=consumed_rate,
         commits_per_s=commits_rate,
         coalesced_fraction=service.updates_coalesced / total_updates if total_updates else 0.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Chaos soak (robustness harness; not a paper figure)
+# ---------------------------------------------------------------------------
+@dataclass
+class ChaosSoakResult:
+    """Outcome of one seeded chaos run.
+
+    ``violations`` is the verdict: empty means every invariant held.
+    Each entry is a human-readable sentence naming the subscriber (or
+    watchdog) and what went wrong, so a failing seed is directly a bug
+    report.  Everything else is context for debugging that seed.
+    """
+
+    seed: int
+    duration_ms: float
+    fault_horizon_ms: float
+    converged_at_ms: Optional[float]
+    events_published: int
+    events_delivered: int
+    duplicates: int
+    order_violations: int
+    gaps: int
+    faults: List[object]                  # FaultRecords, in injection order
+    violations: List[str]
+    link_faults: Dict[str, object] = field(default_factory=dict)
+    curiosity: Dict[str, int] = field(default_factory=dict)
+    disk: Dict[str, int] = field(default_factory=dict)
+    longest_stall_ms: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def run_chaos_soak(
+    seed: int,
+    duration_ms: float = 30_000.0,
+    fanout: Optional[List[int]] = None,
+    subs_per_shb: int = 2,
+    batch_window_ms: float = 0.0,
+    spec: Optional[PaperWorkloadSpec] = None,
+    crashes: int = 3,
+    partitions: int = 3,
+    loss_bursts: int = 4,
+    stalls: int = 2,
+    client_crashes: int = 2,
+    max_down_ms: float = 1_500.0,
+    grace_ms: float = 30_000.0,
+) -> ChaosSoakResult:
+    """Seeded chaos soak: random faults, then prove the guarantees held.
+
+    Builds a PHB → intermediate → SHB tree, runs the paper workload,
+    and lets a :class:`~repro.sim.failures.ChaosSchedule` crash brokers,
+    partition links, inject loss/duplication/reordering/corruption
+    bursts, stall CPUs and crash client machines inside the first 60%
+    of the run.  Publishing stops at 80%, and the run then converges
+    through a quiet tail (extended up to ``grace_ms`` if needed).
+
+    Invariants checked, per durable subscriber:
+
+    * exactly-once per ``(pubend, tick)`` — no duplicate event ids, no
+      order violations;
+    * completeness — the received event set equals the predicate-
+      matching subset of everything the PHB logged durably (events lost
+      to a PHB crash before their sync completed never became durable,
+      were never acknowledged, and so are legitimately absent);
+    * gap honesty — no early-release policy is configured and no
+      ReleaseUpdate is injected, so any GapMessage is a violation;
+    * liveness — per-SHB :class:`~repro.sim.failures.ProgressWatchdog`
+      probes must advance during the post-fault quiet tail, and the run
+      must converge before the grace deadline.
+    """
+    from ..client.publisher import PeriodicPublisher  # noqa: F401  (re-export convenience)
+    from ..net.link import link_stats
+    from .failures import ChaosSchedule, ProgressWatchdog
+
+    fault_horizon = duration_ms * 0.6
+    quiet_start = fault_horizon + max_down_ms + 2_500.0
+    if quiet_start + 1_000.0 > duration_ms:
+        raise ValueError(
+            f"duration_ms={duration_ms:.0f} leaves no quiet tail: faults can "
+            f"linger until ~{quiet_start:.0f} ms; use a longer run"
+        )
+    spec = spec or PaperWorkloadSpec(input_rate=200.0, n_pubends=2)
+    pubends = spec.pubend_names()
+    sim = Scheduler()
+    overlay = build_tree(
+        sim, pubends, fanout or [2, 2],
+        batch_window_ms=batch_window_ms,
+        nack_backoff_factor=2.0,
+        nack_backoff_max_ms=4_000.0,
+        nack_jitter_ms=20.0,
+        nack_retry_budget=64,
+    )
+    publishers = make_publishers(sim, overlay.phb, spec)
+
+    subscribers: List[DurableSubscriber] = []
+    machines: List[Node] = []
+    home: Dict[str, object] = {}
+    for s_idx, shb in enumerate(overlay.shbs):
+        for j in range(subs_per_shb):
+            i = s_idx * subs_per_shb + j
+            machine = Node(sim, f"chaos-m{i + 1}")
+            machines.append(machine)
+            sub = DurableSubscriber(
+                sim, f"cs{i + 1}", machine, spec.subscriber_predicate(i),
+                record_events=True, connect_retry_ms=400.0,
+            )
+            sub.connect(shb)
+            subscribers.append(sub)
+            home[sub.sub_id] = shb
+            # A machine crash kills the app process: its CT rolls back
+            # to the committed snapshot, like DurableSubscriber.crash().
+            machine.on_crash(lambda s=sub: setattr(s, "ct", s.committed_ct.copy()))
+
+    # Reconnect supervisor: any subscriber dropped by an SHB crash or
+    # client-machine crash reconnects once both ends are up again (the
+    # connect-retry knob covers the race where the SHB dies in between).
+    def _supervise() -> None:
+        for sub in subscribers:
+            if not sub.connected and not sub.node.is_down:
+                shb = home[sub.sub_id]
+                if not shb.node.is_down:
+                    sub.connect(shb)
+
+    supervisor = sim.every(331.0, _supervise)
+
+    # Ground truth recorder: the durable log is the oracle for
+    # completeness, but release chops it from the front, so snapshot
+    # event ids/attributes well before any chop can land (a tick is
+    # released only after every subscriber acked it, ≥ one 250 ms ack
+    # interval after delivery — a 100 ms scan never misses).
+    truth: Dict[str, Dict[str, Mapping[str, object]]] = {p: {} for p in pubends}
+
+    def _record_truth() -> None:
+        for p in pubends:
+            for ev in overlay.phb.pubends[p].log.read_range(0, 2**60):
+                truth[p].setdefault(ev.event_id, ev.attributes)
+
+    truth_timer = sim.every(100.0, _record_truth)
+
+    watchdogs = [
+        ProgressWatchdog(
+            sim,
+            lambda s=shb: float(sum(s.latest_delivered(p) for p in pubends)),
+            interval_ms=250.0,
+            name=shb.name,
+        )
+        for shb in overlay.shbs
+    ]
+
+    chaos = ChaosSchedule(
+        sim, seed,
+        brokers=overlay.all_brokers(),
+        links=list(overlay.links),
+        client_nodes=machines,
+    )
+    chaos.generate(
+        fault_horizon,
+        crashes=crashes, partitions=partitions, loss_bursts=loss_bursts,
+        stalls=stalls, client_crashes=client_crashes, max_down_ms=max_down_ms,
+    )
+
+    publish_until = duration_ms * 0.8
+    sim.run_until(publish_until)
+    for pub in publishers:
+        pub.stop()
+    sim.run_until(duration_ms)
+
+    def _expected(sub: DurableSubscriber) -> Set[str]:
+        return {
+            eid
+            for p in pubends
+            for eid, attrs in truth[p].items()
+            if sub.predicate.matches(attrs)
+        }
+
+    # Quiet-tail convergence: extend past duration_ms (up to grace_ms)
+    # until everyone is reconnected and has every matching durable event.
+    deadline = duration_ms + grace_ms
+    converged_at: Optional[float] = None
+    while True:
+        if all(s.connected for s in subscribers) and all(
+            _expected(s) <= s.received_event_id_set for s in subscribers
+        ):
+            converged_at = sim.now
+            break
+        if sim.now >= deadline:
+            break
+        sim.run_until(min(sim.now + 500.0, deadline))
+
+    chaos.stop()
+    supervisor.cancel()
+    truth_timer.cancel()
+    for wd in watchdogs:
+        wd.stop()
+
+    violations: List[str] = []
+    for sub in subscribers:
+        if sub.duplicate_events:
+            violations.append(f"{sub.sub_id}: {sub.duplicate_events} duplicate events")
+        if sub.stats.order_violations:
+            violations.append(
+                f"{sub.sub_id}: {sub.stats.order_violations} order violations"
+            )
+        if sub.stats.gaps:
+            violations.append(
+                f"{sub.sub_id}: {sub.stats.gaps} gap messages with no release injected"
+                f" (ranges {sub.stats.gap_ranges[:3]})"
+            )
+        expected = _expected(sub)
+        missing = expected - sub.received_event_id_set
+        extra = sub.received_event_id_set - expected
+        if missing:
+            violations.append(
+                f"{sub.sub_id}: missing {len(missing)} durable matching events"
+                f" (e.g. {sorted(missing)[:3]})"
+            )
+        if extra:
+            violations.append(
+                f"{sub.sub_id}: received {len(extra)} events not in the durable log"
+                f" (e.g. {sorted(extra)[:3]})"
+            )
+    if converged_at is None:
+        violations.append(
+            f"no convergence within {grace_ms:.0f} ms grace after the run"
+        )
+    for wd in watchdogs:
+        if not wd.progressed_between(quiet_start, duration_ms):
+            violations.append(
+                f"watchdog {wd.name}: no forward progress in the quiet tail"
+                f" [{quiet_start:.0f}, {duration_ms:.0f}] ms"
+            )
+
+    curiosity_counters = {"nacks_sent": 0, "renacks": 0, "budget_suppressed": 0}
+    for shb in overlay.shbs:
+        for cur in shb.head_curiosity.values():
+            curiosity_counters["nacks_sent"] += cur.nacks_sent
+            curiosity_counters["renacks"] += cur.renacks
+            curiosity_counters["budget_suppressed"] += cur.budget_suppressed
+    disks = [overlay.phb.disk] + [s.disk for s in overlay.shbs if getattr(s, "disk", None)]
+    disk_counters = {
+        "crashes": sum(d.crashes for d in disks),
+        "writes_lost_in_crash": sum(d.writes_lost_in_crash for d in disks),
+    }
+    return ChaosSoakResult(
+        seed=seed,
+        duration_ms=duration_ms,
+        fault_horizon_ms=fault_horizon,
+        converged_at_ms=converged_at,
+        events_published=sum(p.published for p in publishers),
+        events_delivered=sum(s.stats.events for s in subscribers),
+        duplicates=sum(s.duplicate_events for s in subscribers),
+        order_violations=sum(s.stats.order_violations for s in subscribers),
+        gaps=sum(s.stats.gaps for s in subscribers),
+        faults=list(chaos.records),
+        violations=violations,
+        link_faults=link_stats(sim).snapshot(),
+        curiosity=curiosity_counters,
+        disk=disk_counters,
+        longest_stall_ms=max((wd.longest_stall_ms for wd in watchdogs), default=0.0),
     )
 
 

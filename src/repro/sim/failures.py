@@ -12,23 +12,29 @@ is recorded so tests can assert against what actually happened.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..broker.base import Broker
-from ..net.link import Link
+from ..net.link import FaultSpec, Link
 from ..net.node import Node
-from ..net.simtime import Scheduler
+from ..net.simtime import PeriodicHandle, Scheduler
 
 
 @dataclass(frozen=True)
 class FaultRecord:
     """One injected fault, for post-run assertions."""
 
-    kind: str          # 'crash', 'partition', 'stall'
+    kind: str          # 'crash', 'partition', 'stall', 'loss_burst'
     target: str
     at_ms: float
     duration_ms: float
+
+
+def link_target_name(link: Link) -> str:
+    """A stable fault-record target for a link, from its endpoints."""
+    return f"{link.a_to_b.sender.name}<->{link.b_to_a.sender.name}"
 
 
 class FailureSchedule:
@@ -64,12 +70,44 @@ class FailureSchedule:
     # Link partitions
     # ------------------------------------------------------------------
     def partition_link(self, link: Link, at_ms: float, duration_ms: float,
-                       name: str = "link") -> None:
+                       name: Optional[str] = None) -> None:
         """Sever a link for ``duration_ms`` (messages silently dropped),
-        then restore it; the protocol recovers via nacks."""
+        then restore it; the protocol recovers via nacks.
+
+        The record's target defaults to ``a<->b`` from the link's
+        endpoint nodes, so ``records_between`` assertions can tell
+        concurrent partitions apart.
+        """
+        if name is None:
+            name = link_target_name(link)
         self.records.append(FaultRecord("partition", name, at_ms, duration_ms))
         self.scheduler.at(at_ms, link.sever)
         self.scheduler.at(at_ms + duration_ms, link.restore)
+
+    # ------------------------------------------------------------------
+    # Lossy-link bursts
+    # ------------------------------------------------------------------
+    def loss_burst(
+        self,
+        link: Link,
+        at_ms: float,
+        duration_ms: float,
+        spec: FaultSpec,
+        seed: int = 0,
+        name: Optional[str] = None,
+    ) -> None:
+        """Make ``link`` lossy (both directions) for a window.
+
+        Installs ``spec`` on both directions at ``at_ms`` and clears it
+        at ``at_ms + duration_ms``.  Overlapping bursts on one link
+        compose by last-writer-wins on the spec; the per-direction RNG
+        persists across bursts (see LinkEnd.set_faults).
+        """
+        if name is None:
+            name = link_target_name(link)
+        self.records.append(FaultRecord("loss_burst", name, at_ms, duration_ms))
+        self.scheduler.at(at_ms, link.set_faults, spec, spec, seed)
+        self.scheduler.at(at_ms + duration_ms, link.clear_faults)
 
     # ------------------------------------------------------------------
     # CPU stalls (GC pauses etc.)
@@ -116,3 +154,149 @@ class FailureSchedule:
 
     def __len__(self) -> int:
         return len(self.records)
+
+
+class ChaosSchedule(FailureSchedule):
+    """A seeded random fault schedule over a topology's brokers/links.
+
+    ``generate()`` draws crashes, partitions, loss bursts and CPU
+    stalls from ``random.Random(seed)`` inside ``[start_ms,
+    fault_horizon_ms]``; the soak harness runs well past the horizon so
+    every invariant is checked against a converged quiet tail.  Same
+    seed + same targets → the identical schedule, which is what makes
+    a failing soak seed a reproducible bug report.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        seed: int,
+        brokers: Sequence[Broker] = (),
+        links: Sequence[Link] = (),
+        client_nodes: Sequence[Node] = (),
+    ) -> None:
+        super().__init__(scheduler)
+        self.seed = seed
+        self.brokers = list(brokers)
+        self.links = list(links)
+        self.client_nodes = list(client_nodes)
+        self.rng = random.Random(f"chaos:{seed}")
+
+    def generate(
+        self,
+        fault_horizon_ms: float,
+        start_ms: float = 1_000.0,
+        crashes: int = 2,
+        partitions: int = 2,
+        loss_bursts: int = 3,
+        stalls: int = 2,
+        client_crashes: int = 2,
+        max_down_ms: float = 1_500.0,
+    ) -> None:
+        rng = self.rng
+
+        def window(max_len: float) -> Tuple[float, float]:
+            at = rng.uniform(start_ms, fault_horizon_ms)
+            length = rng.uniform(100.0, max_len)
+            return at, length
+
+        for _ in range(crashes):
+            if not self.brokers:
+                break
+            at, down = window(max_down_ms)
+            self.crash_broker(rng.choice(self.brokers), at, down)
+        for _ in range(partitions):
+            if not self.links:
+                break
+            at, down = window(max_down_ms)
+            self.partition_link(rng.choice(self.links), at, down)
+        for _ in range(loss_bursts):
+            if not self.links:
+                break
+            at, length = window(2_500.0)
+            spec = FaultSpec(
+                drop_p=rng.uniform(0.02, 0.25),
+                dup_p=rng.uniform(0.0, 0.10),
+                reorder_p=rng.uniform(0.0, 0.20),
+                reorder_max_ms=rng.uniform(1.0, 8.0),
+                corrupt_p=rng.uniform(0.0, 0.10),
+            )
+            self.loss_burst(rng.choice(self.links), at, length, spec, seed=self.seed)
+        for _ in range(stalls):
+            if not self.brokers:
+                break
+            at = rng.uniform(start_ms, fault_horizon_ms)
+            pause = rng.uniform(50.0, 400.0)
+            node = rng.choice(self.brokers).node
+            self.records.append(FaultRecord("stall", node.name, at, pause))
+            self.scheduler.at(at, node.stall, pause)
+        for _ in range(client_crashes):
+            if not self.client_nodes:
+                break
+            at, down = window(max_down_ms)
+            self.crash_node(rng.choice(self.client_nodes), at, down)
+
+
+class ProgressWatchdog:
+    """A livelock detector: samples a progress probe on a fixed beat.
+
+    The probe is any monotonically non-decreasing measure of forward
+    progress (the soak uses the SHB's ``latestDelivered``).  The
+    watchdog records every sample; ``stalled_windows`` reports spans
+    with no increase, and ``progressed_between`` is the assertion
+    helper — "after the last fault healed, did the system move?".
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        probe: Callable[[], float],
+        interval_ms: float = 500.0,
+        name: str = "progress",
+    ) -> None:
+        self.scheduler = scheduler
+        self.probe = probe
+        self.name = name
+        self.samples: List[Tuple[float, float]] = []
+        self._timer: Optional[PeriodicHandle] = scheduler.every(
+            interval_ms, self._sample
+        )
+
+    def _sample(self) -> None:
+        self.samples.append((self.scheduler.now, float(self.probe())))
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def progressed_between(self, t0: float, t1: float) -> bool:
+        """True iff the probe increased somewhere inside ``[t0, t1]``."""
+        inside = [v for t, v in self.samples if t0 <= t <= t1]
+        return len(inside) >= 2 and inside[-1] > inside[0]
+
+    def stalled_windows(self, min_ms: float = 0.0) -> List[Tuple[float, float]]:
+        """Maximal spans (start, end) during which the probe never rose."""
+        out: List[Tuple[float, float]] = []
+        start: Optional[float] = None
+        last_t: Optional[float] = None
+        prev: Optional[float] = None
+        for t, v in self.samples:
+            if prev is not None and v <= prev:
+                if start is None:
+                    start = last_t if last_t is not None else t
+            else:
+                if start is not None and last_t is not None:
+                    if last_t - start >= min_ms:
+                        out.append((start, last_t))
+                    start = None
+            prev = max(v, prev) if prev is not None else v
+            last_t = t
+        if start is not None and last_t is not None and last_t - start >= min_ms:
+            out.append((start, last_t))
+        return out
+
+    @property
+    def longest_stall_ms(self) -> float:
+        windows = self.stalled_windows()
+        return max((end - start for start, end in windows), default=0.0)

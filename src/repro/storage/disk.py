@@ -50,9 +50,15 @@ class SimDisk:
         self.bandwidth_bytes_per_ms = bandwidth_bytes_per_ms
         self.bytes_written = 0
         self.syncs_completed = 0
+        self.crashes = 0
+        #: Writes staged (or mid-sync) at crash time whose callbacks
+        #: therefore never fired — the chaos soak checks these are
+        #: recovered via nacks, never acknowledged as durable.
+        self.writes_lost_in_crash = 0
         self._staged: List[Tuple[int, Optional[Callable[[], None]]]] = []
         self._sync_scheduled = False
         self._sync_in_flight = False
+        self._inflight_writes = 0
         self._epoch = 0  # bumped on crash; in-flight syncs are voided
 
     # ------------------------------------------------------------------
@@ -84,6 +90,7 @@ class SimDisk:
         batch_bytes = sum(n for n, _ in batch)
         duration = self.sync_duration_ms + batch_bytes / self.bandwidth_bytes_per_ms
         self._sync_in_flight = True
+        self._inflight_writes = len(batch)
         self.scheduler.after(duration, self._complete_sync, self._epoch, batch, batch_bytes)
 
     def _complete_sync(
@@ -95,6 +102,7 @@ class SimDisk:
         if epoch != self._epoch:
             return  # the device crashed while this sync was in flight
         self._sync_in_flight = False
+        self._inflight_writes = 0
         self.bytes_written += batch_bytes
         self.syncs_completed += 1
         for _n, cb in batch:
@@ -115,6 +123,9 @@ class SimDisk:
         write-ahead-log contract the protocol is built on.
         """
         self._epoch += 1
+        self.crashes += 1
+        self.writes_lost_in_crash += len(self._staged) + self._inflight_writes
         self._staged.clear()
         self._sync_scheduled = False
         self._sync_in_flight = False
+        self._inflight_writes = 0

@@ -157,6 +157,9 @@ class FileBackend:
         self.fsync = fsync
         self.bytes_appended = 0
         self.flush_count = 0
+        #: Bytes discarded by recovery because the tail frame was torn
+        #: (short write) or failed its CRC — never an exception.
+        self.torn_bytes_truncated = 0
         self._offsets: Dict[Tuple[int, int], Tuple[int, int]] = {}  # (sid, idx) -> (offset, length)
         self._chops: Dict[int, int] = {}  # sid -> chopped-below index
         self._next_index: Dict[int, int] = {}
@@ -188,6 +191,8 @@ class FileBackend:
             self._offsets[(sid, index)] = (valid_end + _HEADER.size, length)
             self._next_index[sid] = max(self._next_index.get(sid, 0), index + 1)
             valid_end = self._file.tell()
+        self._file.seek(0, os.SEEK_END)
+        self.torn_bytes_truncated += self._file.tell() - valid_end
         self._file.truncate(valid_end)
         self._file.seek(0, os.SEEK_END)
         # Re-apply chops recorded earlier in the scan (a chop frame may

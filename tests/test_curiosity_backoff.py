@@ -1,0 +1,152 @@
+"""Re-nack backoff, jitter, and the retry budget.
+
+These are the control-plane retry policies added for lossy links: a
+nack that keeps repeating without any knowledge arriving backs off
+exponentially, stays bounded, and is eventually suppressed by the
+budget — while *fresh* curiosity (never-nacked ranges) always flows.
+"""
+
+import random
+
+import pytest
+
+from repro.core.curiosity import CuriosityStream
+from repro.net.simtime import Scheduler
+from repro.util.intervals import IntervalSet
+
+
+def _stream(sim, sent, **kwargs):
+    return CuriosityStream(
+        sim, "P1", lambda iv: sent.append((sim.now, iv.copy())),
+        poll_ms=20.0, retry_ms=200.0, **kwargs,
+    )
+
+
+class TestBackoffGrowth:
+    def test_renack_gaps_grow_by_factor_up_to_cap(self):
+        sim = Scheduler()
+        sent = []
+        cur = _stream(sim, sent, backoff_factor=2.0, backoff_max_ms=1_600.0)
+        cur.want(10, 20)
+        sim.run_until(20_000.0)
+        assert len(sent) >= 5
+        gaps = [t1 - t0 for (t0, _), (t1, _) in zip(sent, sent[1:])]
+        # Each retry waits roughly twice as long as the previous one
+        # (the suppression generations quantize to the poll beat, so
+        # allow one poll interval of slack), until the cap kicks in.
+        growing = [g for g in gaps if g < 1_600.0]
+        for earlier, later in zip(growing, growing[1:]):
+            assert later >= earlier * 2 - 20.0 - 1e-9
+        # Bounded: once at the cap the gap stops growing.
+        assert max(gaps) <= 2 * 1_600.0 + 20.0
+        assert cur.renacks == len(sent) - 1
+
+    def test_default_factor_keeps_fixed_interval(self):
+        sim = Scheduler()
+        sent = []
+        cur = _stream(sim, sent)  # factor 1.0: legacy fixed retry
+        cur.want(0, 5)
+        sim.run_until(2_000.0)
+        gaps = [t1 - t0 for (t0, _), (t1, _) in zip(sent, sent[1:])]
+        assert gaps
+        # Two-generation suppression re-nacks after one to two retry
+        # periods (quantized to the poll beat) — but never grows.
+        for g in gaps:
+            assert 200.0 - 20.0 - 1e-9 <= g <= 400.0 + 20.0 + 1e-9
+        cur.close()
+
+    def test_progress_resets_the_streak(self):
+        sim = Scheduler()
+        sent = []
+        cur = _stream(sim, sent, backoff_factor=2.0)
+        cur.want(0, 100)
+        sim.run_until(1_500.0)   # a few retries: streak > 0
+        assert cur._retry_streak > 0
+        cur.resolve(0, 100)
+        assert cur._retry_streak == 0
+        cur.want(200, 300)       # new doubt retries at base pace again
+        t0 = sim.now
+        sim.run_until(t0 + 500.0)
+        fresh = [t for t, _ in sent if t > t0]
+        assert len(fresh) >= 2
+        assert fresh[1] - fresh[0] <= 200.0 + 20.0 + 1e-9
+
+
+class TestJitter:
+    def test_jitter_spreads_retries_but_stays_bounded(self):
+        sim = Scheduler()
+        sent = []
+        cur = _stream(sim, sent, jitter_ms=40.0, rng=random.Random("t"))
+        cur.want(0, 5)
+        sim.run_until(3_000.0)
+        gaps = [t1 - t0 for (t0, _), (t1, _) in zip(sent, sent[1:])]
+        assert gaps
+        for g in gaps:
+            # One to two jittered rotations, plus the poll quantum.
+            assert 200.0 - 20.0 - 1e-9 <= g <= 2 * (200.0 + 40.0) + 20.0 + 1e-9
+        assert len(set(round(g, 3) for g in gaps)) > 1  # actually jittered
+
+    def test_validation(self):
+        sim = Scheduler()
+        with pytest.raises(ValueError):
+            _stream(sim, [], backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            _stream(sim, [], jitter_ms=-1.0)
+
+
+class TestRetryBudget:
+    def test_budget_caps_repeat_traffic(self):
+        sim = Scheduler()
+        sent = []
+        cur = _stream(sim, sent, retry_budget=3)
+        cur.want(0, 10)
+        sim.run_until(10_000.0)
+        # 1 initial nack + at most 3 retries; then suppressed.
+        assert len(sent) == 4
+        assert cur.budget_suppressed > 0
+
+    def test_fresh_curiosity_flows_past_an_exhausted_budget(self):
+        sim = Scheduler()
+        sent = []
+        cur = _stream(sim, sent, retry_budget=1)
+        cur.want(0, 10)
+        sim.run_until(2_000.0)
+        n = len(sent)
+        assert n == 2  # initial + one retry, then the budget bites
+        cur.want(50, 60)
+        sim.run_until(2_200.0)
+        assert len(sent) == n + 1
+        assert sent[-1][1].as_tuples() == [(50, 60)]
+
+    def test_knowledge_arrival_rearms_suppressed_retries(self):
+        sim = Scheduler()
+        sent = []
+        cur = _stream(sim, sent, retry_budget=1)
+        cur.want(0, 10)
+        sim.run_until(2_000.0)
+        assert len(sent) == 2
+        cur.resolve(0, 4)        # partial knowledge: progress
+        sim.run_until(4_000.0)
+        later = [iv for t, iv in sent if t > 2_000.0]
+        assert later and later[0].as_tuples() == [(5, 10)]
+
+
+class TestCoalescingRatio:
+    def test_well_defined_before_any_nack(self):
+        sim = Scheduler()
+        cur = _stream(sim, [])
+        assert cur.coalescing_ratio == 0.0
+
+    def test_ratio_counts_ticks_per_range(self):
+        sim = Scheduler()
+        cur = _stream(sim, [])
+        want = IntervalSet()
+        want.add(0, 9)      # 10 ticks, 1 range
+        want.add(20, 29)    # 10 ticks, 1 range
+        cur.want_set(want)
+        sim.run_until(50.0)
+        cur.close()
+        assert cur.nacks_sent == 1
+        assert cur.ranges_nacked == 2
+        assert cur.ticks_nacked == 20
+        assert cur.coalescing_ratio == pytest.approx(10.0)
