@@ -20,7 +20,11 @@ import json
 import pathlib
 import sys
 
+sys.path.insert(0, str(pathlib.Path(__file__).parent))  # for bench_matching
+
 from repro.sim.experiments import run_message_amplification
+
+from bench_matching import measure_baseline_metrics as measure_matching_metrics
 
 BASELINE_PATH = pathlib.Path(__file__).parent / "baseline.json"
 TOLERANCE = 0.20
@@ -33,7 +37,29 @@ HIGHER_IS_WORSE = {
     "reduction": False,
     "mean_batch_size_window10": False,
     "events_delivered": False,
+    # Counting-matcher headline numbers (benchmarks/bench_matching.py):
+    # events/sec and speedup-vs-legacy per workload, plus the fan-out
+    # aggregation's per-subscription work reduction.
+    "matcher_eps_single_1000": False,
+    "matcher_eps_single_10000": False,
+    "matcher_eps_multi_1000": False,
+    "matcher_eps_multi_10000": False,
+    "matcher_speedup_single_1000": False,
+    "matcher_speedup_single_10000": False,
+    "matcher_speedup_multi_1000": False,
+    "matcher_speedup_multi_10000": False,
+    "matcher_eval_reduction_fanout": False,
+    "matcher_active_signatures_fanout": True,
 }
+
+#: Per-metric tolerance overrides.  The batching metrics and the
+#: matcher's work counters (eval reduction, active signatures) are
+#: deterministic, so the default 20% only absorbs deliberate retuning.
+#: Anything wall-clock (events/sec and the speedup ratios derived from
+#: it) swings with host load, so CI holds those loosely — they gate
+#: order-of-magnitude collapses, not noise.
+TOLERANCES = {name: 0.60 for name in HIGHER_IS_WORSE if "_eps_" in name}
+TOLERANCES.update({name: 0.50 for name in HIGHER_IS_WORSE if "_speedup_" in name})
 
 
 def measure() -> dict:
@@ -47,13 +73,15 @@ def measure() -> dict:
               f"({base.events_delivered} vs {batched.events_delivered})",
               file=sys.stderr)
         sys.exit(2)
-    return {
+    out = {
         "messages_per_event_window0": round(base.messages_per_event, 4),
         "messages_per_event_window10": round(batched.messages_per_event, 4),
         "reduction": round(base.messages_per_event / batched.messages_per_event, 4),
         "mean_batch_size_window10": round(batched.mean_batch_size, 4),
         "events_delivered": base.events_delivered,
     }
+    out.update(measure_matching_metrics())
+    return out
 
 
 def main(argv) -> int:
@@ -74,16 +102,16 @@ def main(argv) -> int:
             continue
         if old == 0:
             continue
+        tolerance = TOLERANCES.get(name, TOLERANCE)
         change = (new - old) / abs(old)
         worse = change if higher_is_worse else -change
-        marker = "REGRESSION" if worse > TOLERANCE else "ok"
+        marker = "REGRESSION" if worse > tolerance else "ok"
         print(f"{name:34s} baseline={old:<12} current={new:<12} "
-              f"change={change:+.1%} [{marker}]")
-        if worse > TOLERANCE:
+              f"change={change:+.1%} [{marker} @ {tolerance:.0%}]")
+        if worse > tolerance:
             failures.append(f"{name}: {old} -> {new} ({change:+.1%})")
     if failures:
-        print("\nregressions beyond the "
-              f"{TOLERANCE:.0%} tolerance:", file=sys.stderr)
+        print("\nregressions beyond tolerance:", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1

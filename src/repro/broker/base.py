@@ -192,10 +192,10 @@ class Broker:
         staged = self._staged_subs.get(child, {}).pop(msg.epoch, {})
         if len(staged) != msg.sub_count:
             return self.child_filter_ready.get(child, False)
-        engine = MatchingEngine()
-        for sub_id, predicate in staged.items():
-            engine.add(sub_id, predicate)
-        self.child_engines[child] = engine
+        # Periodic refreshes almost always re-state the same set; diff
+        # into the live engine instead of rebuilding its indexes (and
+        # losing its match cache) from scratch.
+        self.child_engines[child].replace_all(staged)
         self._applied_sub_epoch[child] = msg.epoch
         remaining = self._staged_subs.get(child)
         if remaining:

@@ -85,6 +85,17 @@ class ConsolidatedStream:
         self.fanout_batches = 0  # deliver_batch calls issued
         self._pumping = False
         self._repump = False
+        # Frozen match-set reuse: the engine memoizes match results per
+        # event as shared frozensets, so consecutive ticks matching the
+        # same subscriber set hand back the *same* object — memoize the
+        # derived per-set work too.  ``_nums_cache`` (match set -> PFS
+        # nums, in the set's own iteration order) is guarded by the
+        # registry version, since drop/re-create can rebind a sub_id to
+        # a new num; ``_order_cache`` (match set -> sorted fan-out
+        # order) depends on nothing but the set itself.
+        self._nums_cache: Dict[frozenset, List[int]] = {}
+        self._nums_cache_version = registry.version
+        self._order_cache: Dict[frozenset, List[str]] = {}
         self._silence_timer = scheduler.every(silence_interval_ms, self._silence_tick)
 
     # ------------------------------------------------------------------
@@ -203,11 +214,7 @@ class ConsolidatedStream:
                 self.expired_skipped += 1
                 continue
             matched = self.engine.match_at(event.event_id, event.attributes)
-            nums = []
-            for sub_id in matched:
-                sub = self.registry.get(sub_id)
-                if sub is not None:
-                    nums.append(sub.num)
+            nums = self._nums_for(matched)
             if nums:
                 # The PFS logs the Q tick for every matching durable
                 # subscriber, connected or not.
@@ -221,7 +228,7 @@ class ConsolidatedStream:
                         self._non_catchup[sub_id] = t
                         self.events_delivered += 1
             else:
-                for sub_id in sorted(matched):
+                for sub_id in self._order_for(matched):
                     last_sent = self._non_catchup.get(sub_id)
                     if last_sent is not None and t > last_sent:
                         batches.setdefault(sub_id, []).append(
@@ -235,6 +242,37 @@ class ConsolidatedStream:
                 self.deliver_batch(sub_id, msgs)
                 self.fanout_batches += 1
         self._recompute_latest_delivered()
+
+    def _nums_for(self, matched: frozenset) -> List[int]:
+        """PFS subscriber nums for a match set, memoized per set.
+
+        Iterates ``matched`` itself (not a sorted copy) so the PFS
+        record order is identical to the pre-cache implementation.
+        """
+        if self._nums_cache_version != self.registry.version:
+            # Any registry membership change may rebind sub_id -> num.
+            self._nums_cache.clear()
+            self._nums_cache_version = self.registry.version
+        nums = self._nums_cache.get(matched)
+        if nums is None:
+            if len(self._nums_cache) >= 4096:
+                self._nums_cache.clear()
+            nums = []
+            for sub_id in matched:
+                sub = self.registry.get(sub_id)
+                if sub is not None:
+                    nums.append(sub.num)
+            self._nums_cache[matched] = nums
+        return nums
+
+    def _order_for(self, matched: frozenset) -> List[str]:
+        """The sorted fan-out order of a match set, memoized per set."""
+        order = self._order_cache.get(matched)
+        if order is None:
+            if len(self._order_cache) >= 4096:
+                self._order_cache.clear()
+            order = self._order_cache[matched] = sorted(matched)
+        return order
 
     def _pfs_durable(self, t: int) -> None:
         if self._pending_pfs and self._pending_pfs[0] == t:

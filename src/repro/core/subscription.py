@@ -55,6 +55,10 @@ class SubscriptionRegistry:
         self._subs: Dict[str, DurableSubscription] = {}
         self._by_num: Dict[int, DurableSubscription] = {}
         self._next_num = 0
+        #: Bumped on every membership change (create/drop/crash reset);
+        #: lets per-match-set caches (constream num fan-out) detect that
+        #: a ``sub_id -> num`` mapping they memoized may be stale.
+        self.version = 0
         self._load()
 
     def _load(self) -> None:
@@ -80,6 +84,7 @@ class SubscriptionRegistry:
             raise SubscriptionError(f"subscription {sub_id} already exists")
         sub = DurableSubscription(sub_id, self._next_num, predicate)
         self._next_num += 1
+        self.version += 1
         self._subs[sub_id] = sub
         self._by_num[sub.num] = sub
         self._subs_table.put(sub_id, (sub.num, predicate))
@@ -90,6 +95,7 @@ class SubscriptionRegistry:
         sub = self._subs.pop(sub_id, None)
         if sub is None:
             return
+        self.version += 1
         self._by_num.pop(sub.num, None)
         self._subs_table.delete(sub_id)
         for pubend in list(sub.released):
@@ -146,4 +152,5 @@ class SubscriptionRegistry:
         self._subs.clear()
         self._by_num.clear()
         self._next_num = 0
+        self.version += 1
         self._load()

@@ -6,24 +6,52 @@ the full set of matching subscriber ids (that set is exactly what the
 PFS logs).  Intermediate brokers only need the yes/no question "does
 *any* downstream subscription match" to filter a knowledge stream.
 
-The engine keeps an inverted index over the common predicate form
-``attr ∈ values`` (see ``Predicate.indexable_equalities``); everything
-else lands in a linear-scan bucket.  Matching an event then touches
-only the subscriptions indexed under the event's own attribute values,
-which keeps the per-event cost near O(matches) for the selective
-workloads of the evaluation.
+Both questions are answered by the counting matcher
+(:mod:`repro.matching.counting`): every predicate is decomposed into
+indexable per-attribute atoms plus an opaque residual, atoms are
+interned and indexed per attribute (hash for equalities, sorted bounds
+for ranges), and an event matches a subscription when it satisfies all
+of its atoms — determined by counting, not by re-walking predicate
+trees.  Only fully opaque predicates land in the (now rare) scan
+bucket, as zero-atom entries that are candidates for every event.
+
+``matches_any`` — the per-downstream-link question — is answered by a
+:class:`~repro.matching.aggregate.SubscriptionAggregate`: equal
+predicates collapse into refcounted signatures and broader residual-free
+signatures absorb narrower ones, so a link with thousands of
+subscriptions is typically filtered against a handful of active
+signatures.  Since each child link has its own engine, this gives
+per-link aggregation for free.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+from collections import OrderedDict
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
-from .predicates import Predicate
+from .aggregate import SubscriptionAggregate
+from .counting import CountingMatcher
+from .predicates import Atom, Predicate
 
 
-#: Entries kept in the per-timestamp match cache before it is cleared.
+#: Entries kept in the per-timestamp match cache before FIFO eviction.
 MATCH_CACHE_LIMIT = 4096
+
+
+def decompose_safe(predicate: Predicate) -> Tuple[Tuple[Atom, ...], Optional[Predicate]]:
+    """``predicate.decompose()``, deduplicated and guaranteed hashable.
+
+    Atoms embedding unhashable values (a list-valued ``Eq`` bound, say)
+    cannot be interned or indexed; such predicates fall back to fully
+    opaque, exactly like any other scan-bucket resident.
+    """
+    try:
+        atoms, residual = predicate.decompose()
+        atoms = tuple(dict.fromkeys(atoms))
+        hash(atoms)
+    except TypeError:
+        return (), predicate
+    return atoms, residual
 
 
 class MatchingEngine:
@@ -31,14 +59,11 @@ class MatchingEngine:
 
     def __init__(self) -> None:
         self._filters: Dict[str, Predicate] = {}
-        # attr -> value -> set of subscription ids indexed there
-        self._index: Dict[str, Dict[Any, Set[str]]] = defaultdict(lambda: defaultdict(set))
-        # (attr, value-set) remembered per sub for O(1) removal
-        self._index_keys: Dict[str, Tuple[str, FrozenSet[Any]]] = {}
-        self._scan: Set[str] = set()
-        # event id -> frozen match result, valid until the filter set
-        # changes (any add/remove invalidates every cached answer)
-        self._match_cache: Dict[str, FrozenSet[str]] = {}
+        self._counting = CountingMatcher()
+        self._aggregate = SubscriptionAggregate()
+        # event id -> (attributes, frozen match result).  FIFO-bounded;
+        # add/remove repair entries in place instead of dropping them.
+        self._match_cache: "OrderedDict[str, Tuple[Mapping[str, Any], FrozenSet[str]]]" = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -49,33 +74,42 @@ class MatchingEngine:
         """Register (or replace) a subscription's filter."""
         if sub_id in self._filters:
             self.remove(sub_id)
-        self._match_cache.clear()
         self._filters[sub_id] = predicate
-        key = predicate.indexable_equalities()
-        if key is None:
-            self._scan.add(sub_id)
-        else:
-            attr, values = key
-            self._index_keys[sub_id] = (attr, values)
-            for value in values:
-                self._index[attr][value].add(sub_id)
+        atoms, residual = decompose_safe(predicate)
+        self._counting.add(sub_id, atoms, residual)
+        self._aggregate.add(sub_id, atoms, residual)
+        # A new subscription can only *extend* cached match sets; one
+        # predicate evaluation per cached event keeps the cache warm.
+        for event_id, (attrs, result) in self._match_cache.items():
+            if predicate.matches(attrs):
+                self._match_cache[event_id] = (attrs, result | {sub_id})
 
     def remove(self, sub_id: str) -> None:
         """Unregister a subscription (no-op when absent)."""
         predicate = self._filters.pop(sub_id, None)
         if predicate is None:
             return
-        self._match_cache.clear()
-        self._scan.discard(sub_id)
-        key = self._index_keys.pop(sub_id, None)
-        if key is not None:
-            attr, values = key
-            for value in values:
-                bucket = self._index[attr].get(value)
-                if bucket is not None:
-                    bucket.discard(sub_id)
-                    if not bucket:
-                        del self._index[attr][value]
+        self._counting.remove(sub_id)
+        self._aggregate.remove(sub_id)
+        # Removal can only *shrink* cached match sets — no predicate
+        # evaluation needed at all.
+        for event_id, (attrs, result) in self._match_cache.items():
+            if sub_id in result:
+                self._match_cache[event_id] = (attrs, result - {sub_id})
+
+    def replace_all(self, filters: Mapping[str, Predicate]) -> None:
+        """Make the registry equal ``filters`` by applying deltas only.
+
+        Used by epoch-verified ``SubscriptionSync``: a periodic refresh
+        usually re-states the same subscription set, so swapping in a
+        freshly built engine (and losing every index and cache) is
+        wasted work — diffing touches nothing when nothing changed.
+        """
+        for sub_id in [s for s in self._filters if s not in filters]:
+            self.remove(sub_id)
+        for sub_id, predicate in filters.items():
+            if self._filters.get(sub_id) != predicate:
+                self.add(sub_id, predicate)
 
     def __contains__(self, sub_id: str) -> bool:
         return sub_id in self._filters
@@ -92,37 +126,24 @@ class MatchingEngine:
     # ------------------------------------------------------------------
     # Matching
     # ------------------------------------------------------------------
-    def _candidates(self, attributes: Mapping[str, Any]) -> Iterable[str]:
-        for attr, buckets in self._index.items():
-            value = attributes.get(attr)
-            if value is not None:
-                hits = buckets.get(value)
-                if hits:
-                    yield from hits
-        yield from self._scan
-
     def match(self, attributes: Mapping[str, Any]) -> Set[str]:
         """All subscription ids whose predicate matches ``attributes``."""
-        out: Set[str] = set()
-        for sub_id in self._candidates(attributes):
-            if sub_id not in out and self._filters[sub_id].matches(attributes):
-                out.add(sub_id)
-        return out
+        return set(self._counting.match(attributes))
 
     def matches_any(self, attributes: Mapping[str, Any]) -> bool:
         """True if at least one registered subscription matches.
 
-        This is the question an intermediate broker asks per downstream
-        link; it short-circuits on the first hit.
+        This is the question a PHB or intermediate broker asks per
+        downstream link; it is answered by the link's aggregate — the
+        active covering signatures — not by trying subscriptions one
+        by one.
         """
-        seen: Set[str] = set()
-        for sub_id in self._candidates(attributes):
-            if sub_id in seen:
-                continue
-            seen.add(sub_id)
-            if self._filters[sub_id].matches(attributes):
-                return True
-        return False
+        return self._aggregate.matches_any(attributes)
+
+    def accepts_all(self) -> bool:
+        """True when a wildcard subscription is registered, so every
+        event matches and per-event filtering can be skipped outright."""
+        return self._aggregate.accepts_all()
 
     def match_at(self, event_id: str, attributes: Mapping[str, Any]) -> FrozenSet[str]:
         """Like :meth:`match`, memoized by the event's identity.
@@ -131,21 +152,73 @@ class MatchingEngine:
         event's attributes never change, so it fully identifies the
         match question; the same event re-entering the engine (nack
         replies arriving behind head knowledge, cache-served catchup
-        ticks) reuses the stored answer until the filter set changes.
-        Returns a frozen set — callers must not mutate it.
+        ticks) reuses the stored answer.  The cache is FIFO-bounded and
+        repaired in place on add/remove, so a hot event's answer
+        survives subscription churn.  Returns a frozen set — callers
+        must not mutate it.
         """
         cached = self._match_cache.get(event_id)
         if cached is not None:
             self.cache_hits += 1
-            return cached
+            return cached[1]
         self.cache_misses += 1
-        if len(self._match_cache) >= MATCH_CACHE_LIMIT:
-            self._match_cache.clear()
-        result = frozenset(self.match(attributes))
-        self._match_cache[event_id] = result
+        while len(self._match_cache) >= MATCH_CACHE_LIMIT:
+            self._match_cache.popitem(last=False)
+        result = frozenset(self._counting.match(attributes))
+        self._match_cache[event_id] = (attributes, result)
         return result
 
     def matches_subscription(self, sub_id: str, attributes: Mapping[str, Any]) -> bool:
         """Evaluate one specific subscription (catchup-stream filtering)."""
         predicate = self._filters.get(sub_id)
         return predicate is not None and predicate.matches(attributes)
+
+    # ------------------------------------------------------------------
+    # Instrumentation (see metrics.collector.matcher)
+    # ------------------------------------------------------------------
+    @property
+    def atoms_examined(self) -> int:
+        """Atom-index probes performed across all match calls."""
+        return self._counting.atoms_examined
+
+    @property
+    def residual_evals(self) -> int:
+        """Opaque predicate evaluations (scan bucket + residuals)."""
+        return self._counting.residual_evals
+
+    @property
+    def candidates_seen(self) -> int:
+        """Subscriptions whose satisfied-atom count was touched."""
+        return self._counting.candidates_seen
+
+    @property
+    def events_processed(self) -> int:
+        return self._counting.events_processed
+
+    @property
+    def atom_count(self) -> int:
+        """Distinct interned atoms currently indexed."""
+        return self._counting.atom_count
+
+    @property
+    def scan_count(self) -> int:
+        """Subscriptions resident in the opaque scan bucket."""
+        return self._counting.scan_count
+
+    @property
+    def aggregate_signatures(self) -> int:
+        """Deduplicated subscription signatures in the link aggregate."""
+        return self._aggregate.signature_count
+
+    @property
+    def aggregate_active(self) -> int:
+        """Signatures actually consulted by ``matches_any`` (the
+        covering antichain); the rest are absorbed by broader ones."""
+        return self._aggregate.active_count
+
+    @property
+    def aggregate_evals(self) -> int:
+        """Work done answering ``matches_any``: atom probes plus
+        residual evaluations inside the aggregate's matcher."""
+        m = self._aggregate.matcher
+        return m.atoms_examined + m.residual_evals

@@ -8,10 +8,15 @@ uninteresting events travel no further than necessary).
 Predicates are small immutable trees.  Composite predicates (:class:`And`,
 :class:`Or`, :class:`Not`) combine the attribute tests.  Every predicate
 answers :meth:`Predicate.matches` against an attribute mapping and
-exposes :meth:`indexable_equalities` so the matching engine can build
-an inverted index for the common ``attr == value`` / ``attr in {...}``
-shapes (the workhorse of the parallel-search-tree matcher of Aguilera
-et al., which this engine approximates).
+exposes two indexing views for the matching engine:
+
+* :meth:`indexable_equalities` — the legacy single-key view
+  (``attr ∈ values``), kept for introspection and tests;
+* :meth:`decompose` — the counting-matcher view: the predicate as a
+  conjunction of indexable *atoms* plus an optional opaque residual,
+  so multi-attribute conjunctions (the common content-based form in
+  Gryphon's information-flow model) are matched by counting satisfied
+  atoms per subscription instead of re-evaluating whole trees.
 """
 
 from __future__ import annotations
@@ -20,6 +25,108 @@ from dataclasses import dataclass
 from typing import Any, FrozenSet, Mapping, Optional, Sequence, Tuple
 
 _MISSING = object()
+
+
+# ---------------------------------------------------------------------------
+# Atoms: the indexable units of the counting matcher
+# ---------------------------------------------------------------------------
+class Atom:
+    """One indexable per-attribute test.
+
+    A predicate decomposes into a conjunction of atoms (plus an optional
+    residual); the matching engine builds per-attribute inverted indexes
+    over atoms and matches an event by *counting* satisfied atoms per
+    subscription.  Atoms are small frozen values: equal atoms across
+    subscriptions are interned and evaluated once per event.
+
+    Every atom implicitly requires its attribute to be **present** in
+    the event; :meth:`satisfied` is only consulted for present values
+    (which may legitimately be ``None``).
+    """
+
+    __slots__ = ()
+
+    def satisfied(self, value: Any) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class EqAtom(Atom):
+    """``value ∈ values`` — the hash-indexable equality/membership atom."""
+
+    attr: str
+    values: FrozenSet[Any]
+
+    def satisfied(self, value: Any) -> bool:
+        return value in self.values
+
+
+@dataclass(frozen=True)
+class CmpAtom(Atom):
+    """An ordered bound: ``value <op> bound`` with op in ``< <= > >=``.
+
+    Indexed via sorted bound lists (one bisect finds every satisfied
+    bound atom on an attribute); a type mismatch is unsatisfied, like
+    :class:`Cmp`.
+    """
+
+    attr: str
+    op: str
+    bound: Any
+
+    def satisfied(self, value: Any) -> bool:
+        try:
+            return Cmp._OPS[self.op](value, self.bound)
+        except TypeError:
+            return False
+
+
+@dataclass(frozen=True)
+class NeAtom(Atom):
+    """``value != other`` (attribute presence is implied)."""
+
+    attr: str
+    value: Any
+
+    def satisfied(self, value: Any) -> bool:
+        return value != self.value
+
+
+@dataclass(frozen=True)
+class ExistsAtom(Atom):
+    """The attribute is present, whatever its value."""
+
+    attr: str
+
+    def satisfied(self, value: Any) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class PrefixAtom(Atom):
+    """String attribute starts with ``prefix``."""
+
+    attr: str
+    prefix: str
+
+    def satisfied(self, value: Any) -> bool:
+        return isinstance(value, str) and value.startswith(self.prefix)
+
+
+@dataclass(frozen=True)
+class NeverAtom(Atom):
+    """Satisfied by no event — :class:`Nothing` and empty :class:`Or`.
+
+    Carries no attribute; the engine registers it nowhere, so the
+    owning subscription's satisfied count can never reach its total.
+    """
+
+    def satisfied(self, value: Any) -> bool:  # pragma: no cover - unindexed
+        return False
+
+
+#: A decomposition: the predicate ≡ AND(atoms) ∧ residual (None = true).
+Decomposition = Tuple[Tuple[Atom, ...], Optional["Predicate"]]
 
 
 class Predicate:
@@ -39,6 +146,17 @@ class Predicate:
         """
         return None
 
+    def decompose(self) -> Decomposition:
+        """``(atoms, residual)`` with ``self ≡ AND(atoms) ∧ residual``.
+
+        The default is fully opaque — no atoms, the predicate itself as
+        the residual — which lands the subscription in the engine's
+        (now rare) scan bucket.  Leaf predicates override this with
+        their exact atom form; :class:`And` concatenates its children's
+        decompositions, so only truly opaque subtrees stay residual.
+        """
+        return (), self
+
     # Convenience combinators -------------------------------------------------
     def __and__(self, other: "Predicate") -> "Predicate":
         return And((self, other))
@@ -57,6 +175,9 @@ class Everything(Predicate):
     def matches(self, attributes: Mapping[str, Any]) -> bool:
         return True
 
+    def decompose(self) -> Decomposition:
+        return (), None
+
 
 @dataclass(frozen=True)
 class Nothing(Predicate):
@@ -64,6 +185,9 @@ class Nothing(Predicate):
 
     def matches(self, attributes: Mapping[str, Any]) -> bool:
         return False
+
+    def decompose(self) -> Decomposition:
+        return (NeverAtom(),), None
 
 
 @dataclass(frozen=True)
@@ -78,6 +202,9 @@ class Eq(Predicate):
 
     def indexable_equalities(self) -> Optional[Tuple[str, FrozenSet[Any]]]:
         return self.attr, frozenset((self.value,))
+
+    def decompose(self) -> Decomposition:
+        return (EqAtom(self.attr, frozenset((self.value,))),), None
 
 
 @dataclass(frozen=True)
@@ -97,6 +224,9 @@ class In(Predicate):
     def indexable_equalities(self) -> Optional[Tuple[str, FrozenSet[Any]]]:
         return self.attr, self.values
 
+    def decompose(self) -> Decomposition:
+        return (EqAtom(self.attr, self.values),), None
+
 
 @dataclass(frozen=True)
 class Ne(Predicate):
@@ -108,6 +238,9 @@ class Ne(Predicate):
     def matches(self, attributes: Mapping[str, Any]) -> bool:
         got = attributes.get(self.attr, _MISSING)
         return got is not _MISSING and got != self.value
+
+    def decompose(self) -> Decomposition:
+        return (NeAtom(self.attr, self.value),), None
 
 
 @dataclass(frozen=True)
@@ -137,6 +270,9 @@ class Cmp(Predicate):
             return self._OPS[self.op](got, self.bound)
         except TypeError:
             return False
+
+    def decompose(self) -> Decomposition:
+        return (CmpAtom(self.attr, self.op, self.bound),), None
 
 
 def Lt(attr: str, bound: Any) -> Cmp:
@@ -172,6 +308,9 @@ class Between(Predicate):
         except TypeError:
             return False
 
+    def decompose(self) -> Decomposition:
+        return (CmpAtom(self.attr, ">=", self.lo), CmpAtom(self.attr, "<=", self.hi)), None
+
 
 @dataclass(frozen=True)
 class Exists(Predicate):
@@ -181,6 +320,9 @@ class Exists(Predicate):
 
     def matches(self, attributes: Mapping[str, Any]) -> bool:
         return self.attr in attributes
+
+    def decompose(self) -> Decomposition:
+        return (ExistsAtom(self.attr),), None
 
 
 @dataclass(frozen=True)
@@ -193,6 +335,9 @@ class Prefix(Predicate):
     def matches(self, attributes: Mapping[str, Any]) -> bool:
         got = attributes.get(self.attr)
         return isinstance(got, str) and got.startswith(self.prefix)
+
+    def decompose(self) -> Decomposition:
+        return (PrefixAtom(self.attr, self.prefix),), None
 
 
 @dataclass(frozen=True)
@@ -213,6 +358,24 @@ class And(Predicate):
             if key is not None:
                 return key
         return None
+
+    def decompose(self) -> Decomposition:
+        # A conjunction is exactly the concatenation of its children's
+        # decompositions; opaque children fold into one residual.
+        atoms: list = []
+        residuals: list = []
+        for t in self.terms:
+            t_atoms, t_residual = t.decompose()
+            atoms.extend(t_atoms)
+            if t_residual is not None:
+                residuals.append(t_residual)
+        if not residuals:
+            residual = None
+        elif len(residuals) == 1:
+            residual = residuals[0]
+        else:
+            residual = And(residuals)
+        return tuple(atoms), residual
 
 
 @dataclass(frozen=True)
@@ -245,6 +408,30 @@ class Or(Predicate):
         if attr is None:
             return None
         return attr, frozenset(values)
+
+    def decompose(self) -> Decomposition:
+        # A disjunction indexes only in the In-like case: every branch
+        # reduces to a single equality atom on one shared attribute, so
+        # the whole Or is one membership atom over the union.  Anything
+        # richer (mixed attributes, ranges, residuals) stays opaque —
+        # counting is conjunctive.
+        if not self.terms:
+            return (NeverAtom(),), None
+        attr: Optional[str] = None
+        values: set = set()
+        for t in self.terms:
+            t_atoms, t_residual = t.decompose()
+            if t_residual is not None or len(t_atoms) != 1:
+                return (), self
+            atom = t_atoms[0]
+            if not isinstance(atom, EqAtom):
+                return (), self
+            if attr is None:
+                attr = atom.attr
+            elif attr != atom.attr:
+                return (), self
+            values.update(atom.values)
+        return (EqAtom(attr, frozenset(values)),), None
 
 
 @dataclass(frozen=True)

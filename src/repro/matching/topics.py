@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, FrozenSet, Mapping, Optional, Tuple
 
-from .predicates import Predicate
+from .predicates import Decomposition, EqAtom, Predicate
 
 #: The reserved attribute carrying an event's topic string.
 TOPIC_ATTR = "topic"
@@ -70,3 +70,10 @@ class Topic(Predicate):
         if self.is_literal:
             return TOPIC_ATTR, frozenset((self.pattern,))
         return None
+
+    def decompose(self) -> Decomposition:
+        # Literal topics are plain equalities; wildcard patterns stay
+        # opaque (segment matching is not an attribute atom).
+        if self.is_literal:
+            return (EqAtom(TOPIC_ATTR, frozenset((self.pattern,))),), None
+        return (), self

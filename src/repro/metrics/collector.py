@@ -117,6 +117,39 @@ class MetricsCollector:
         self.gauge("link.reordered", lambda: float(stats.reordered))
         self.gauge("link.dropped", lambda: float(stats.dropped))
 
+    def matcher(self, prefix: str, engine) -> None:
+        """Register the counting-matcher series for one engine:
+
+        * ``<prefix>.atoms_per_event`` — index probes per match call
+          (the counting matcher's unit of work);
+        * ``<prefix>.candidates_per_event`` — subscriptions whose
+          satisfied-atom count was touched, per match call;
+        * ``<prefix>.residual_evals_per_event`` — opaque predicate
+          evaluations per match call (scan-bucket + residual pressure);
+        * ``<prefix>.scan_subs`` — subscriptions resident in the opaque
+          scan bucket;
+        * ``<prefix>.aggregate_active`` — covering signatures actually
+          consulted by ``matches_any`` (vs. registered subscriptions).
+        """
+        events = lambda: float(engine.events_processed)  # noqa: E731
+        self.ratio(
+            f"{prefix}.atoms_per_event", lambda: float(engine.atoms_examined), events
+        )
+        self.ratio(
+            f"{prefix}.candidates_per_event",
+            lambda: float(engine.candidates_seen),
+            events,
+        )
+        self.ratio(
+            f"{prefix}.residual_evals_per_event",
+            lambda: float(engine.residual_evals),
+            events,
+        )
+        self.gauge(f"{prefix}.scan_subs", lambda: float(engine.scan_count))
+        self.gauge(
+            f"{prefix}.aggregate_active", lambda: float(engine.aggregate_active)
+        )
+
     # ------------------------------------------------------------------
     # Control
     # ------------------------------------------------------------------

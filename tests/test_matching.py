@@ -4,10 +4,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.matching.engine import MatchingEngine
+from repro.matching import engine as engine_mod
+from repro.matching.aggregate import SubscriptionAggregate
+from repro.matching.engine import MatchingEngine, decompose_safe
 from repro.matching.predicates import (
-    And, Between, Eq, Everything, Exists, Ge, Gt, In, Le, Lt, Ne, Not,
-    Nothing, Or, Prefix,
+    And, Between, CmpAtom, Eq, EqAtom, Everything, Exists, Ge, Gt, In, Le,
+    Lt, Ne, NeverAtom, Not, Nothing, Or, Prefix,
 )
 from repro.matching.topics import TOPIC_ATTR, Topic, topic_pattern_matches
 
@@ -169,6 +171,188 @@ class TestEngine:
         assert eng.matches_subscription("s1", {"g": 1})
         assert not eng.matches_subscription("s1", {"g": 2})
         assert not eng.matches_subscription("nope", {"g": 1})
+
+    def test_none_valued_attribute_matches(self):
+        # Regression: the pre-PR candidate walk skipped any event
+        # attribute whose value was None, so an indexed Eq("a", None)
+        # (or In containing None) silently never matched.
+        eng = MatchingEngine()
+        eng.add("eq-none", Eq("a", None))
+        eng.add("in-none", In("a", [None, 1]))
+        assert eng.match({"a": None}) == {"eq-none", "in-none"}
+        assert eng.match({"a": 1}) == {"in-none"}
+        assert eng.matches_any({"a": None})
+        assert eng.match({"a": 2}) == set()
+
+    def test_unhashable_values_fall_back_to_scan(self):
+        eng = MatchingEngine()
+        eng.add("listy", Eq("a", [1, 2]))  # unhashable bound -> opaque
+        assert eng.scan_count == 1
+        assert eng.match({"a": [1, 2]}) == {"listy"}
+        assert eng.match({"a": [1, 2], "b": [3]}) == {"listy"}
+        assert eng.match({"a": [9]}) == set()
+
+
+class TestMatchCache:
+    def test_match_at_hits_and_misses(self):
+        eng = MatchingEngine()
+        eng.add("s1", Eq("g", 1))
+        r1 = eng.match_at("p:1", {"g": 1})
+        assert r1 == frozenset({"s1"})
+        assert (eng.cache_hits, eng.cache_misses) == (0, 1)
+        assert eng.match_at("p:1", {"g": 1}) is r1
+        assert (eng.cache_hits, eng.cache_misses) == (1, 1)
+
+    def test_fifo_eviction_order(self, monkeypatch):
+        monkeypatch.setattr(engine_mod, "MATCH_CACHE_LIMIT", 3)
+        eng = MatchingEngine()
+        eng.add("s1", Everything())
+        for i in range(3):
+            eng.match_at(f"p:{i}", {"g": i})
+        # A hit must NOT refresh recency: FIFO, not LRU.
+        eng.match_at("p:0", {"g": 0})
+        eng.match_at("p:3", {"g": 3})  # evicts p:0, the oldest insert
+        assert list(eng._match_cache) == ["p:1", "p:2", "p:3"]
+        misses = eng.cache_misses
+        eng.match_at("p:0", {"g": 0})  # re-inserted: was evicted
+        assert eng.cache_misses == misses + 1
+
+    def test_add_extends_cached_results_in_place(self):
+        eng = MatchingEngine()
+        eng.add("s1", Eq("g", 1))
+        assert eng.match_at("p:1", {"g": 1}) == frozenset({"s1"})
+        assert eng.match_at("p:2", {"g": 2}) == frozenset()
+        eng.add("s2", In("g", [1, 2]))
+        misses = eng.cache_misses
+        assert eng.match_at("p:1", {"g": 1}) == frozenset({"s1", "s2"})
+        assert eng.match_at("p:2", {"g": 2}) == frozenset({"s2"})
+        assert eng.cache_misses == misses  # repaired, not recomputed
+
+    def test_remove_shrinks_cached_results_in_place(self):
+        eng = MatchingEngine()
+        eng.add("s1", Eq("g", 1))
+        eng.add("s2", Everything())
+        assert eng.match_at("p:1", {"g": 1}) == frozenset({"s1", "s2"})
+        eng.remove("s1")
+        misses = eng.cache_misses
+        assert eng.match_at("p:1", {"g": 1}) == frozenset({"s2"})
+        assert eng.cache_misses == misses
+
+    def test_replace_resubscription_repairs_cache(self):
+        eng = MatchingEngine()
+        eng.add("s1", Eq("g", 1))
+        eng.match_at("p:1", {"g": 1})
+        eng.add("s1", Eq("g", 2))  # replace: remove then add
+        assert eng.match_at("p:1", {"g": 1}) == frozenset()
+        assert eng.match_at("p:2", {"g": 2}) == frozenset({"s1"})
+
+
+class TestDecomposition:
+    def test_leaves(self):
+        assert Eq("g", 1).decompose() == ((EqAtom("g", frozenset([1])),), None)
+        assert In("g", [1, 2]).decompose() == ((EqAtom("g", frozenset([1, 2])),), None)
+        assert Gt("x", 5).decompose() == ((CmpAtom("x", ">", 5),), None)
+        assert Everything().decompose() == ((), None)
+        assert Nothing().decompose() == ((NeverAtom(),), None)
+
+    def test_between_becomes_two_bounds(self):
+        atoms, residual = Between("x", 2, 5).decompose()
+        assert residual is None
+        assert set(atoms) == {CmpAtom("x", ">=", 2), CmpAtom("x", "<=", 5)}
+
+    def test_and_concatenates_atoms(self):
+        p = And([Eq("g", 1), Gt("x", 5), Between("y", 0, 9)])
+        atoms, residual = p.decompose()
+        assert residual is None
+        assert len(atoms) == 4
+
+    def test_and_folds_opaque_children_into_residual(self):
+        opaque = ~Exists("c")
+        atoms, residual = And([Eq("g", 1), opaque]).decompose()
+        assert atoms == (EqAtom("g", frozenset([1])),)
+        assert residual is not None
+        assert residual.matches({"g": 1})
+        assert not residual.matches({"g": 1, "c": 0})
+
+    def test_or_of_same_attr_equalities_merges(self):
+        atoms, residual = Or([Eq("g", 1), Eq("g", 2)]).decompose()
+        assert atoms == (EqAtom("g", frozenset([1, 2])),)
+        assert residual is None
+
+    def test_mixed_or_stays_opaque(self):
+        p = Or([Eq("g", 1), Gt("x", 5)])
+        atoms, residual = p.decompose()
+        assert atoms == () and residual is p
+
+    def test_literal_topic_decomposes(self):
+        atoms, residual = Topic("a.b").decompose()
+        assert atoms == (EqAtom(TOPIC_ATTR, frozenset(["a.b"])),)
+        assert residual is None
+        wild = Topic("a.*")
+        assert wild.decompose() == ((), wild)
+
+    def test_decompose_safe_dedups_and_guards_hashability(self):
+        atoms, residual = decompose_safe(And([Eq("g", 1), Eq("g", 1)]))
+        assert atoms == (EqAtom("g", frozenset([1])),)
+        p = Eq("a", [1, 2])  # unhashable atom value
+        assert decompose_safe(p) == ((), p)
+
+
+class TestAggregate:
+    @staticmethod
+    def _add(agg, sub_id, predicate):
+        atoms, residual = decompose_safe(predicate)
+        agg.add(sub_id, atoms, residual)
+
+    def test_equal_predicates_share_a_signature(self):
+        agg = SubscriptionAggregate()
+        for i in range(50):
+            self._add(agg, f"s{i}", Eq("g", 1))
+        assert agg.signature_count == 1
+        assert agg.active_count == 1
+        assert agg.matches_any({"g": 1})
+        assert not agg.matches_any({"g": 2})
+
+    def test_broader_signature_absorbs_narrower(self):
+        agg = SubscriptionAggregate()
+        self._add(agg, "broad", Eq("g", 1))
+        self._add(agg, "narrow", And([Eq("g", 1), Eq("h", 2)]))
+        assert agg.signature_count == 2
+        assert agg.active_count == 1  # only the broad one is consulted
+        assert agg.matches_any({"g": 1})
+        assert agg.matches_any({"g": 1, "h": 9})
+
+    def test_removing_coverer_reactivates_ward(self):
+        agg = SubscriptionAggregate()
+        self._add(agg, "broad", Eq("g", 1))
+        self._add(agg, "narrow", And([Eq("g", 1), Eq("h", 2)]))
+        agg.remove("broad")
+        assert agg.active_count == 1
+        assert agg.matches_any({"g": 1, "h": 2})
+        assert not agg.matches_any({"g": 1, "h": 9})
+
+    def test_wildcard_accepts_all(self):
+        agg = SubscriptionAggregate()
+        assert not agg.accepts_all()
+        self._add(agg, "narrow", Eq("g", 1))
+        self._add(agg, "wild", Everything())
+        assert agg.accepts_all()
+        assert agg.active_count == 1
+        assert agg.matches_any({"anything": 0})
+        agg.remove("wild")
+        assert not agg.accepts_all()
+        assert not agg.matches_any({"anything": 0})
+
+    def test_engine_exposes_aggregate_counters(self):
+        eng = MatchingEngine()
+        for i in range(10):
+            eng.add(f"s{i}", Eq("g", 1))
+        eng.add("narrow", And([Eq("g", 1), Gt("x", 5)]))
+        assert eng.aggregate_signatures == 2
+        assert eng.aggregate_active == 1  # Eq("g", 1) covers the And
+        assert eng.accepts_all() is False
+        eng.add("wild", Everything())
+        assert eng.accepts_all() is True
 
 
 # ---------------------------------------------------------------------------

@@ -75,6 +75,36 @@ class TestCollector:
         idle = col.get("idle")
         assert idle.values()[-1] == pytest.approx(0.5, abs=0.1)
 
+    def test_matcher_probe(self):
+        from repro.matching.engine import MatchingEngine
+        from repro.matching.predicates import And, Eq, Everything, Gt, Or
+
+        sim = Scheduler()
+        eng = MatchingEngine()
+        eng.add("narrow", And([Eq("g", 1), Gt("x", 5)]))
+        eng.add("broad", Eq("g", 1))
+        eng.add("opaque", Or([Eq("g", 2), Gt("x", 8)]))  # scan bucket
+        col = MetricsCollector(sim, interval_ms=100.0)
+        col.matcher("shb.match", eng)
+        state = {"i": 0}
+
+        def pump():
+            state["i"] += 1
+            eng.match({"g": state["i"] % 3, "x": state["i"] % 10})
+            eng.matches_any({"g": state["i"] % 3, "x": state["i"] % 10})
+
+        sim.every(10, pump)
+        col.start()
+        sim.run_until(1_000)
+        # The opaque Or is evaluated per match call -> >=1 residual
+        # eval per event on average (match + matches_any both count).
+        assert col.get("shb.match.residual_evals_per_event").values()[-1] >= 0.5
+        assert col.get("shb.match.atoms_per_event").values()[-1] > 0
+        assert col.get("shb.match.scan_subs").values()[-1] == 1.0
+        # "broad" covers "narrow": the aggregate consults 2 signatures
+        # (broad + the opaque one), not 3.
+        assert col.get("shb.match.aggregate_active").values()[-1] == 2.0
+
     def test_stop(self):
         sim = Scheduler()
         col = MetricsCollector(sim, interval_ms=100.0)
