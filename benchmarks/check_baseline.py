@@ -24,6 +24,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).parent))  # for bench_matching
 
 from repro.sim.experiments import run_message_amplification
 
+from bench_latency import measure_latency_metrics
 from bench_matching import measure_baseline_metrics as measure_matching_metrics
 
 BASELINE_PATH = pathlib.Path(__file__).parent / "baseline.json"
@@ -50,6 +51,15 @@ HIGHER_IS_WORSE = {
     "matcher_speedup_multi_10000": False,
     "matcher_eval_reduction_fanout": False,
     "matcher_active_signatures_fanout": True,
+    # Traced latency histograms (benchmarks/bench_latency.py): p50/p99
+    # publish→deliver and the reconnect catchup lag, simulated time, so
+    # deterministic; sample counts gate the tracer itself (a sampling
+    # or span-plumbing bug shows up as a collapsed count).
+    "latency_e2e_p50_ms": True,
+    "latency_e2e_p99_ms": True,
+    "latency_catchup_lag_p99_ms": True,
+    "latency_e2e_samples": False,
+    "latency_catchup_samples": False,
 }
 
 #: Per-metric tolerance overrides.  The batching metrics and the
@@ -81,6 +91,7 @@ def measure() -> dict:
         "events_delivered": base.events_delivered,
     }
     out.update(measure_matching_metrics())
+    out.update(measure_latency_metrics())
     return out
 
 

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 
 from ..core import messages as M
 from ..matching.engine import MatchingEngine
+from ..metrics.trace import event_tracer
 from ..net.link import Link, LinkEnd
 from ..net.node import Node
 from ..net.simtime import Scheduler
@@ -68,6 +69,10 @@ class Broker:
         self._staged_subs: Dict[str, Dict[int, Dict[str, object]]] = {}
         self._applied_sub_epoch: Dict[str, int] = {}
         self._sub_epoch_counter = 0
+        #: Shared per-scheduler event tracer (disabled by default; see
+        #: repro.metrics.trace).  Hop sites guard on ``tracing`` so an
+        #: idle tracer costs one attribute check per forwarded batch.
+        self._tracer = event_tracer(scheduler)
         self.node.on_recover(self._mark_children_cold)
         self.node.on_recover(self._on_node_recover)
 
@@ -142,6 +147,17 @@ class Broker:
 
     def send_to_child(self, child: str, msg: object) -> None:
         self._child_sends[child].send(msg)
+
+    def _trace_forward(self, update: M.KnowledgeUpdate, start_ms: float, span: str) -> None:
+        """Record a forward span for every traced event in ``update``.
+
+        ``start_ms`` is when the update entered this broker (intake or
+        durability time); the span closes now, as the update is handed
+        to the downlink — so the span covers this broker's CPU queue.
+        """
+        tracer = self._tracer
+        if tracer.tracing and update.d_events:
+            tracer.mark_events(update.d_events, span, self.name, start_ms=start_ms)
 
     # ------------------------------------------------------------------
     # Message handling (subclass responsibilities)

@@ -19,6 +19,7 @@ from typing import Dict, Optional, Tuple
 
 from ..core import messages as M
 from ..core.curiosity import NackConsolidator
+from ..metrics.trace import SPAN_INTERMEDIATE_FORWARD
 from ..core.release import ReleaseAggregator
 from ..core.tickmap import TickMap
 from ..net.node import Node
@@ -114,6 +115,7 @@ class IntermediateBroker(Broker):
         hi = update.max_tick()
         if hi is None:
             return
+        t0 = self.scheduler.now  # relay intake time, for forward spans
         for child in self.child_names:
             cursor = relay.sent_cursor.get(child, 0)
             old, new = M.split_update(update, cursor)
@@ -121,7 +123,12 @@ class IntermediateBroker(Broker):
                 filtered = self._filter_for_child(child, new)
                 relay.sent_cursor[child] = max(cursor, hi)
                 cost = self.costs.forward_per_link_event_ms * max(1, len(new.d_events))
-                self.node.submit(cost, lambda c=child, u=filtered: self.send_to_child(c, u))
+
+                def job(c=child, u=filtered, t0=t0) -> None:
+                    self._trace_forward(u, t0, SPAN_INTERMEDIATE_FORWARD)
+                    self.send_to_child(c, u)
+
+                self.node.submit(cost, job)
             if not old.is_empty():
                 self._route_old_knowledge(relay, child, old)
         # Interest satisfied for everything this update covered.
@@ -139,7 +146,13 @@ class IntermediateBroker(Broker):
         if not pieces.is_empty():
             filtered = self._filter_for_child(child, pieces)
             cost = self.costs.forward_per_link_event_ms * max(1, len(pieces.d_events))
-            self.node.submit(cost, lambda c=child, u=filtered: self.send_to_child(c, u))
+            t0 = self.scheduler.now
+
+            def job(c=child, u=filtered, t0=t0) -> None:
+                self._trace_forward(u, t0, SPAN_INTERMEDIATE_FORWARD)
+                self.send_to_child(c, u)
+
+            self.node.submit(cost, job)
 
     def _filter_for_child(self, child: str, update: M.KnowledgeUpdate) -> M.KnowledgeUpdate:
         # A cold union (post-recovery, pre-resync) must not filter.
@@ -220,7 +233,13 @@ class IntermediateBroker(Broker):
             self.cache_hits += 1
             filtered = self._filter_for_child(child, reply)
             cost = self.costs.serve_nack_per_event_ms * max(1, len(reply.d_events))
-            self.node.submit(cost, lambda: self.send_to_child(child, filtered))
+            t0 = self.scheduler.now
+
+            def job(filtered=filtered, t0=t0) -> None:
+                self._trace_forward(filtered, t0, SPAN_INTERMEDIATE_FORWARD)
+                self.send_to_child(child, filtered)
+
+            self.node.submit(cost, job)
         if unresolved:
             self.cache_miss_ticks += unresolved.tick_count()
             relay.consolidator.register(child, unresolved)

@@ -18,6 +18,7 @@ from typing import Dict, Optional
 
 from ..core import messages as M
 from ..core.pubend import Pubend
+from ..metrics.trace import SPAN_PHB_FORWARD
 from ..core.release import EarlyReleasePolicy
 from ..net.link import Link, LinkEnd
 from ..net.node import Node
@@ -84,11 +85,21 @@ class PublisherHostingBroker(Broker):
         attributes: Dict[str, object],
         payload_bytes: int = 250,
         publisher: Optional[str] = None,
+        trace_t0: Optional[float] = None,
     ) -> None:
-        """Accept an event (consumes PHB CPU, then stages the log write)."""
+        """Accept an event (consumes PHB CPU, then stages the log write).
+
+        ``trace_t0`` is the client-side publish time (defaults to now,
+        which is the same thing for a co-located caller); it anchors
+        the event's trace when sampling is on.
+        """
+        if trace_t0 is None:
+            trace_t0 = self.scheduler.now
         self.node.submit(
             self.costs.publish_ms,
-            lambda: self._do_publish(pubend, attributes, payload_bytes, publisher),
+            lambda: self._do_publish(
+                pubend, attributes, payload_bytes, publisher, trace_t0=trace_t0
+            ),
         )
 
     def _do_publish(
@@ -97,8 +108,11 @@ class PublisherHostingBroker(Broker):
         attributes: Dict[str, object],
         payload_bytes: int,
         publisher: Optional[str],
+        trace_t0: Optional[float] = None,
     ) -> None:
-        self.pubends[pubend].publish(attributes, payload_bytes, publisher)
+        self.pubends[pubend].publish(
+            attributes, payload_bytes, publisher, trace_t0=trace_t0
+        )
         self.events_accepted += 1
 
     # ------------------------------------------------------------------
@@ -119,7 +133,10 @@ class PublisherHostingBroker(Broker):
         if msg.publisher is None or msg.seq is None:
             # Unreliable fire-and-forget publish over a client link.
             pubend = msg.pubend or next(iter(self.pubends))
-            self._do_publish(pubend, msg.attributes, msg.payload_bytes, msg.publisher)
+            self._do_publish(
+                pubend, msg.attributes, msg.payload_bytes, msg.publisher,
+                trace_t0=msg.client_ms,
+            )
             return
         accepted = self._accepted_seqs.get(
             msg.publisher, self._pub_seqs.get(msg.publisher, 0)
@@ -148,6 +165,7 @@ class PublisherHostingBroker(Broker):
         self.pubends[pubend].publish(
             msg.attributes, msg.payload_bytes, msg.publisher,
             seq=msg.seq, ttl_ms=msg.ttl_ms, on_durable=durable,
+            trace_t0=msg.client_ms,
         )
         self.events_accepted += 1
 
@@ -155,11 +173,17 @@ class PublisherHostingBroker(Broker):
     # Dissemination with per-child filtering
     # ------------------------------------------------------------------
     def _disseminate(self, update: M.KnowledgeUpdate) -> None:
+        t0 = self.scheduler.now  # dissemination starts at log durability
         for child in self.child_names:
             filtered = self._filter_for_child(child, update)
             if not filtered.is_empty():
                 cost = self.costs.forward_per_link_event_ms * max(1, len(update.d_events))
-                self.node.submit(cost, lambda c=child, u=filtered: self.send_to_child(c, u))
+
+                def job(c=child, u=filtered, t0=t0) -> None:
+                    self._trace_forward(u, t0, SPAN_PHB_FORWARD)
+                    self.send_to_child(c, u)
+
+                self.node.submit(cost, job)
 
     def _filter_for_child(self, child: str, update: M.KnowledgeUpdate) -> M.KnowledgeUpdate:
         """Convert D ticks that match nothing below ``child`` into S.
@@ -219,7 +243,13 @@ class PublisherHostingBroker(Broker):
         self.nacks_served += 1
         reply = self._filter_for_child(child, reply)
         cost = self.costs.serve_nack_per_event_ms * max(1, len(reply.d_events))
-        self.node.submit(cost, lambda: self.send_to_child(child, reply))
+        t0 = self.scheduler.now
+
+        def job(reply=reply, t0=t0) -> None:
+            self._trace_forward(reply, t0, SPAN_PHB_FORWARD)
+            self.send_to_child(child, reply)
+
+        self.node.submit(cost, job)
 
     # ------------------------------------------------------------------
     # Failure handling

@@ -487,12 +487,29 @@ class SubscriberHostingBroker(Broker):
             self.events_enqueued += 1
         elif isinstance(msg, M.GapMessage):
             self.gaps_enqueued += 1
-        self.node.submit(cost, lambda: self._do_send(sub_id, msg, on_sent))
+        enqueued_ms = self.scheduler.now
+        self.node.submit(
+            cost,
+            lambda: self._do_send(sub_id, msg, on_sent, via_catchup, enqueued_ms),
+        )
 
-    def _do_send(self, sub_id: str, msg: object, on_sent=None) -> None:
+    def _do_send(
+        self,
+        sub_id: str,
+        msg: object,
+        on_sent=None,
+        via_catchup: bool = False,
+        enqueued_ms: Optional[float] = None,
+    ) -> None:
         end = self._sessions.get(sub_id)
         if end is not None:
             end.send(msg)
+            if enqueued_ms is not None and isinstance(msg, M.EventMessage):
+                tracer = self._tracer
+                if tracer.tracing:
+                    tracer.on_deliver(
+                        msg.event.event_id, sub_id, via_catchup, enqueued_ms
+                    )
         if on_sent is not None:
             on_sent()
 
@@ -504,13 +521,22 @@ class SubscriberHostingBroker(Broker):
         self.events_enqueued += len(msgs)
         self.delivery_batches += 1
         cost = self.costs.deliver_event_ms * len(msgs)
-        self.node.submit(cost, lambda: self._do_send_batch(sub_id, msgs))
+        enqueued_ms = self.scheduler.now
+        self.node.submit(cost, lambda: self._do_send_batch(sub_id, msgs, enqueued_ms))
 
-    def _do_send_batch(self, sub_id: str, msgs: List[M.EventMessage]) -> None:
+    def _do_send_batch(
+        self, sub_id: str, msgs: List[M.EventMessage], enqueued_ms: Optional[float] = None
+    ) -> None:
         end = self._sessions.get(sub_id)
         if end is not None:
+            tracer = self._tracer
             for msg in msgs:
                 end.send(msg)
+                if enqueued_ms is not None and tracer.tracing:
+                    tracer.on_deliver(
+                        msg.event.event_id, sub_id, via_catchup=False,
+                        start_ms=enqueued_ms,
+                    )
 
     # ------------------------------------------------------------------
     # Knowledge intake from the parent
@@ -558,6 +584,13 @@ class SubscriberHostingBroker(Broker):
             self._route_to_catchups(pubend, old)
 
     def _cache_knowledge(self, pubend: str, update: M.KnowledgeUpdate) -> None:
+        # Both intake paths (per-message and batched) come through here
+        # exactly once per update: memo traced-event arrival times so
+        # the constream's match span starts at SHB intake.
+        tracer = self._tracer
+        if tracer.tracing and update.d_events:
+            for event in update.d_events:
+                tracer.note_arrival(event.event_id)
         cache = self.event_cache[pubend]
         for start, end in update.l_ranges:
             cache.set_lost_below(end + 1)

@@ -71,7 +71,10 @@ class PeriodicPublisher:
         if self.phb.node.is_down:
             return  # the PHB is crashed; drop (publisher would retry/block)
         attributes = self.attribute_fn(self.published)
-        self.phb.publish(self.pubend, attributes, self.payload_bytes, publisher=self.name)
+        self.phb.publish(
+            self.pubend, attributes, self.payload_bytes, publisher=self.name,
+            trace_t0=self.scheduler.now,
+        )
         self.published += 1
 
 
@@ -131,6 +134,7 @@ class ReliablePublisher:
         request = M.PublishRequest(
             dict(attributes), payload_bytes, publisher=self.name,
             seq=self._next_seq, pubend=self.pubend, ttl_ms=ttl_ms,
+            client_ms=self.scheduler.now,
         )
         self._next_seq += 1
         self.published += 1

@@ -26,6 +26,7 @@ from ..broker.shb import SubscriberHostingBroker
 from ..core import messages as M
 from ..core.checkpoint import CheckpointToken
 from ..matching.predicates import Predicate
+from ..metrics.trace import event_tracer
 from ..net.link import Link, LinkEnd
 from ..net.node import Node
 from ..net.simtime import PeriodicHandle, Scheduler
@@ -87,6 +88,7 @@ class DurableSubscriber:
         self._pending_request: Optional[M.ConnectRequest] = None
         self._first_connect_done = False
         self.connected = False
+        self._tracer = event_tracer(scheduler)
         self.stats = DeliveryStats()
         self.received_event_ids: List[str] = []
         self.received_event_id_set: Set[str] = set()
@@ -222,6 +224,8 @@ class DurableSubscriber:
                 self.received_event_id_set.add(event_id)
                 self.received_event_ids.append(event_id)
         self._advance(msg.pubend, msg.t)
+        if self._tracer.tracing:
+            self._tracer.on_consume(msg.event.event_id, self.sub_id)
         if self.on_event is not None:
             self.on_event(msg)  # type: ignore[operator]
 

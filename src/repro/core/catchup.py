@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
+from ..metrics.trace import event_tracer
 from ..net.simtime import Scheduler
 from ..pfs.pfs import PersistentFilteringSubsystem, PFSReadResult
 from ..util.intervals import IntervalSet
@@ -125,6 +126,7 @@ class CatchupStream:
         self.events_refiltered_out = 0
         self.knowledge = KnowledgeStream(pubend, consumed=start_ts)
         self.curiosity = CuriosityStream(scheduler, pubend, send_nack)
+        self._tracer = event_tracer(scheduler)
         self.started_at_ms = scheduler.now
         self.start_ts = start_ts
         self.closed = False
@@ -308,6 +310,9 @@ class CatchupStream:
         """A nack reply (or cached knowledge) routed to this stream."""
         if self.closed:
             return
+        if self._tracer.tracing and update.d_events:
+            for event in update.d_events:
+                self._tracer.note_arrival(event.event_id)
         self.knowledge.accumulate(update)
         for start, end in update.s_ranges:
             self.curiosity.resolve(start, end)
@@ -374,6 +379,8 @@ class CatchupStream:
                     continue
                 if self.track_deliveries:
                     self.undelivered += 1
+                if self._tracer.tracing:
+                    self._tracer.on_catchup_resolve(run.event.event_id, self.pubend)
                 self.deliver(EventMessage(self.pubend, run.start, run.event))
                 self.events_delivered += 1
             elif run.kind is Tick.S:

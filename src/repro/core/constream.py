@@ -29,6 +29,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, Iterable, List, Optional
 
 from ..matching.engine import MatchingEngine
+from ..metrics.trace import event_tracer
 from ..net.simtime import Scheduler
 from ..pfs.pfs import PersistentFilteringSubsystem
 from ..storage.table import PersistentTable
@@ -96,6 +97,7 @@ class ConsolidatedStream:
         self._nums_cache: Dict[frozenset, List[int]] = {}
         self._nums_cache_version = registry.version
         self._order_cache: Dict[frozenset, List[str]] = {}
+        self._tracer = event_tracer(scheduler)
         self._silence_timer = scheduler.every(silence_interval_ms, self._silence_tick)
 
     # ------------------------------------------------------------------
@@ -214,6 +216,8 @@ class ConsolidatedStream:
                 self.expired_skipped += 1
                 continue
             matched = self.engine.match_at(event.event_id, event.attributes)
+            if self._tracer.tracing:
+                self._tracer.on_match(event.event_id, self.pubend)
             nums = self._nums_for(matched)
             if nums:
                 # The PFS logs the Q tick for every matching durable

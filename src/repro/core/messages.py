@@ -389,7 +389,9 @@ class PublishRequest:
 
     ``seq`` (with ``publisher``) enables exactly-once publishing: the
     PHB deduplicates retransmissions and acknowledges each sequence
-    number once the event is durably logged.
+    number once the event is durably logged.  ``client_ms`` is the
+    client-side publish time (simulation clock) used to anchor latency
+    traces; retransmissions keep the original value.
     """
 
     attributes: Dict[str, object]
@@ -398,6 +400,7 @@ class PublishRequest:
     seq: Optional[int] = None
     pubend: Optional[str] = None
     ttl_ms: Optional[int] = None
+    client_ms: Optional[float] = None
 
     @property
     def size_bytes(self) -> int:

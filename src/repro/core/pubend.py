@@ -29,6 +29,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from ..metrics.trace import SPAN_PHB_LOG, SPAN_PUBLISH, event_tracer
 from ..net.simtime import Scheduler
 from ..storage.disk import SimDisk
 from ..storage.eventlog import PersistentEventLog
@@ -69,6 +70,7 @@ class Pubend:
         #: The event timestamp approximates its staging time, so the
         #: difference at the durable callback is the logging latency.
         self.log_latency_ms: List[float] = []
+        self._tracer = event_tracer(scheduler)
         self._silence_timer = scheduler.every(silence_interval_ms, self._silence_flush)
 
     # ------------------------------------------------------------------
@@ -100,6 +102,7 @@ class Pubend:
         seq: Optional[int] = None,
         ttl_ms: Optional[int] = None,
         on_durable: Optional[Callable[[], None]] = None,
+        trace_t0: Optional[float] = None,
     ) -> Event:
         """Assign a timestamp, stage the event for durable logging.
 
@@ -107,7 +110,9 @@ class Pubend:
         disseminated from the log-sync callback, in order.
         ``on_durable`` additionally fires at that point (used for
         publish acknowledgments).  ``ttl_ms`` sets a JMS-style
-        expiration relative to the assigned timestamp.
+        expiration relative to the assigned timestamp.  ``trace_t0``
+        is the client-side publish time, when the caller knows it —
+        the tracer's end-to-end clock starts there.
         """
         t = max(self._last_assigned + 1, self._disseminated + 1, self.current_time)
         self._last_assigned = t
@@ -118,7 +123,20 @@ class Pubend:
         )
         self._pending.append(t)
 
+        tracer = self._tracer
+        staged_at: Optional[float] = None
+        if tracer.active and tracer.begin(event, start_ms=trace_t0):
+            staged_at = self.scheduler.now
+            tracer.add_span(
+                event.event_id, SPAN_PUBLISH, self.name,
+                start_ms=trace_t0 if trace_t0 is not None else staged_at,
+            )
+
         def durable() -> None:
+            if staged_at is not None:
+                tracer.add_span(
+                    event.event_id, SPAN_PHB_LOG, self.name, start_ms=staged_at
+                )
             self._event_durable(event)
             if on_durable is not None:
                 on_durable()

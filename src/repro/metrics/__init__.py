@@ -1,0 +1,31 @@
+"""Metrics: windowed series sampling, latency histograms and tracing.
+
+* :mod:`~repro.metrics.collector` — periodic probe sampling (the
+  paper's time-series figures);
+* :mod:`~repro.metrics.histogram` — fixed-bucket log-scale latency
+  histograms (mergeable, percentile-capable);
+* :mod:`~repro.metrics.trace` — sampled end-to-end event tracing with
+  per-hop spans;
+* :mod:`~repro.metrics.report` — plain-text tables and the structured
+  JSON export.
+"""
+
+from .collector import MetricsCollector
+from .histogram import BUCKET_FACTOR, LatencyHistogram
+from .report import export_json, format_table, percentile, summarize_series
+from .trace import EventTracer, Span, Trace, event_tracer, install_tracer
+
+__all__ = [
+    "BUCKET_FACTOR",
+    "EventTracer",
+    "LatencyHistogram",
+    "MetricsCollector",
+    "Span",
+    "Trace",
+    "event_tracer",
+    "export_json",
+    "format_table",
+    "install_tracer",
+    "percentile",
+    "summarize_series",
+]

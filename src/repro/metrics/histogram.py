@@ -1,0 +1,160 @@
+"""Fixed-bucket log-scale latency histograms.
+
+The windowed-rate layer in :mod:`repro.metrics.collector` reproduces
+the paper's time-series figures, but percentile latency (p50/p95/p99
+publish→deliver, catchup lag) needs a distribution, not a rate.
+:class:`LatencyHistogram` is the production-broker shape: a fixed set
+of log-spaced bucket bounds shared by every instance, so histograms
+from different runs, brokers or trace spans merge by adding counts —
+no raw samples are retained.
+
+Accuracy contract: bucket bounds grow by :data:`BUCKET_FACTOR`, so for
+any value within range ``raw_percentile <= histogram_percentile <=
+raw_percentile * BUCKET_FACTOR`` (the histogram quotes a bucket's
+upper bound, clamped to the observed maximum).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
+
+#: Ratio between consecutive bucket upper bounds (~25% relative error).
+BUCKET_FACTOR = 1.25
+
+#: Smallest / largest finite bucket bounds in milliseconds.  0.05 ms is
+#: below any simulated hop; 120 s exceeds any plausible catchup lag in
+#: the experiments; everything above the top bound lands in overflow.
+_BOUND_LO_MS = 0.05
+_BOUND_HI_MS = 120_000.0
+
+
+def _make_bounds() -> Tuple[float, ...]:
+    bounds: List[float] = []
+    b = _BOUND_LO_MS
+    while b < _BOUND_HI_MS:
+        bounds.append(b)
+        b *= BUCKET_FACTOR
+    bounds.append(_BOUND_HI_MS)
+    return tuple(bounds)
+
+
+#: Upper bounds of the finite buckets, shared by all histograms.
+BUCKET_BOUNDS: Tuple[float, ...] = _make_bounds()
+
+
+class LatencyHistogram:
+    """A mergeable fixed-bucket histogram of millisecond durations.
+
+    ``counts[i]`` counts observations ``v`` with
+    ``BUCKET_BOUNDS[i-1] < v <= BUCKET_BOUNDS[i]`` (and the final slot
+    is the overflow bucket above the top bound).
+    """
+
+    __slots__ = ("name", "counts", "count", "sum", "_max", "_min")
+
+    bounds: Tuple[float, ...] = BUCKET_BOUNDS
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self._max = 0.0
+        self._min: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Recording and merging
+    # ------------------------------------------------------------------
+    def observe(self, value_ms: float) -> None:
+        if value_ms < 0.0:
+            value_ms = 0.0  # clock-skew guard; virtual time never skews
+        self.counts[bisect_left(self.bounds, value_ms)] += 1
+        self.count += 1
+        self.sum += value_ms
+        if value_ms > self._max:
+            self._max = value_ms
+        if self._min is None or value_ms < self._min:
+            self._min = value_ms
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other`` into this histogram (identical bucket bounds)."""
+        if other.bounds is not self.bounds and other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.sum += other.sum
+        if other._max > self._max:
+            self._max = other._max
+        if other._min is not None and (self._min is None or other._min < self._min):
+            self._min = other._min
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    @property
+    def max(self) -> float:
+        return self._max if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._min is not None else 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile, quoted as the rank bucket's upper
+        bound clamped to the observed extremes (see module docstring)."""
+        if not self.count:
+            return 0.0
+        if pct <= 0:
+            return self.min
+        rank = min(self.count, max(1, int(round(pct / 100.0 * self.count))))
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            cumulative += n
+            if cumulative >= rank:
+                if i >= len(self.bounds):  # overflow bucket
+                    return self._max
+                return min(self.bounds[i], self._max)
+        return self._max  # pragma: no cover - cumulative always reaches count
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-ready summary (non-empty buckets only)."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "sum_ms": round(self.sum, 6),
+            "mean_ms": round(self.mean, 6),
+            "min_ms": round(self.min, 6),
+            "max_ms": round(self.max, 6),
+            "p50_ms": round(self.p50, 6),
+            "p95_ms": round(self.p95, 6),
+            "p99_ms": round(self.p99, 6),
+            "buckets": {
+                ("inf" if i >= len(self.bounds) else repr(self.bounds[i])): n
+                for i, n in enumerate(self.counts)
+                if n
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LatencyHistogram {self.name or '?'} n={self.count} "
+            f"p50={self.p50:.2f}ms p99={self.p99:.2f}ms max={self.max:.2f}ms>"
+        )

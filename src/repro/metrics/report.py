@@ -7,9 +7,15 @@ and simple sparkline-ish dumps for time series.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import json
+import pathlib
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
 
 from ..util.rate import Series
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .collector import MetricsCollector
+    from .trace import EventTracer
 
 
 def format_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
@@ -54,6 +60,46 @@ def format_series(series: Series, every: int = 1, unit: str = "") -> str:
         if i % every == 0:
             lines.append(f"  t={t / 1000.0:9.1f}s  {v:12.1f} {unit}")
     return "\n".join(lines)
+
+
+def export_json(
+    collector: "MetricsCollector",
+    path: Optional[Union[str, pathlib.Path]] = None,
+    tracer: Optional["EventTracer"] = None,
+    extra: Optional[dict] = None,
+) -> dict:
+    """Structured JSON export of a collector (and optionally a tracer).
+
+    The document is the machine-readable companion of the plain-text
+    tables: every registered series (points + summary), every registered
+    histogram snapshot, the tracer's span/e2e histograms when given, and
+    an ``extra`` dict for experiment-specific headline numbers.  When
+    ``path`` is given the document is also written there (pretty-printed
+    with sorted keys, so exports diff cleanly); CI uploads the bench
+    export as a workflow artifact.
+    """
+    doc: dict = {
+        "series": {
+            name: {
+                "points": [[t, v] for t, v in series.points],
+                "summary": summarize_series(series),
+            }
+            for name, series in sorted(collector.series.items())
+        },
+        "histograms": {
+            name: hist.snapshot()
+            for name, hist in sorted(collector.histograms.items())
+        },
+    }
+    if tracer is not None:
+        doc["trace"] = tracer.snapshot()
+    if extra:
+        doc["extra"] = dict(extra)
+    if path is not None:
+        pathlib.Path(path).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+    return doc
 
 
 def percentile(values: Sequence[float], pct: float) -> float:

@@ -198,6 +198,123 @@ def run_latency(
 
 
 # ---------------------------------------------------------------------------
+# Traced latency histograms (observability layer over the same chain)
+# ---------------------------------------------------------------------------
+@dataclass
+class LatencyTraceResult:
+    """Histogram-based latency result from the sampling tracer.
+
+    Unlike :class:`LatencyResult` (which needs the workload to smuggle
+    ``pub_time`` through event attributes), this uses the tracer's
+    span records, so it also measures per-hop components and the
+    catchup lag of a subscriber that reconnects mid-run.
+    """
+
+    sample_rate: float
+    traces_started: int
+    consumes_observed: int
+    e2e_p50_ms: float
+    e2e_p95_ms: float
+    e2e_p99_ms: float
+    e2e_samples: int
+    catchup_p50_ms: float
+    catchup_p95_ms: float
+    catchup_p99_ms: float
+    catchup_samples: int
+    span_histograms: Dict[str, Dict[str, object]]
+    export: Dict[str, object]
+
+
+def run_latency_trace(
+    n_intermediates: int = 1,
+    rate_per_s: float = 100.0,
+    duration_ms: float = 20_000.0,
+    sample_rate: float = 0.25,
+    seed: int = 7,
+    disconnect_at_ms: float = 6_000.0,
+    reconnect_at_ms: float = 10_000.0,
+    export_path: Optional[str] = None,
+) -> LatencyTraceResult:
+    """Traced latency over a broker chain, with a mid-run reconnect.
+
+    Two Everything() subscribers share one SHB: ``steady`` stays
+    connected for the whole run (its consumes populate
+    ``e2e.publish_deliver``); ``churner`` disconnects and reconnects,
+    so events published while it was away reach it through a catchup
+    stream and populate ``e2e.catchup_lag`` — the quantity a
+    reconnecting durable subscriber actually experiences (it includes
+    the disconnected span).
+    """
+    from ..client.publisher import PeriodicPublisher
+    from ..matching.predicates import Everything
+    from ..metrics.histogram import LatencyHistogram
+    from ..metrics.report import export_json
+    from ..metrics.trace import E2E_CATCHUP_LAG, E2E_PUBLISH_DELIVER, install_tracer
+
+    sim = Scheduler()
+    tracer = install_tracer(sim, sample_rate, seed=seed)
+    overlay = build_chain(sim, ["P1"], n_intermediates=n_intermediates)
+    shb = overlay.shbs[0]
+
+    steady = DurableSubscriber(sim, "steady", Node(sim, "m-steady"), Everything())
+    steady.connect(shb)
+    churner = DurableSubscriber(sim, "churner", Node(sim, "m-churner"), Everything())
+    churner.connect(shb)
+    sim.at(disconnect_at_ms, churner.disconnect)
+    sim.at(reconnect_at_ms, lambda: churner.connect(shb))
+
+    pub = PeriodicPublisher(
+        sim, overlay.phb, "P1", rate_per_s,
+        attribute_fn=lambda i: {"group": i % 4},
+    )
+    collector = MetricsCollector(sim, interval_ms=1_000.0)
+    collector.latency(
+        "phb.log_latency", lambda: overlay.phb.pubends["P1"].log_latency_ms
+    )
+    collector.counter_rate("published", lambda: float(pub.published))
+    collector.cpu_idle("phb_idle", overlay.phb.node)
+    collector.start()
+    pub.start()
+    sim.run_until(duration_ms)
+    pub.stop()
+    sim.run_until(duration_ms + 5_000.0)  # drain catchup + in-flight
+    collector.stop()
+
+    e2e = tracer.histograms.get(E2E_PUBLISH_DELIVER, LatencyHistogram(E2E_PUBLISH_DELIVER))
+    lag = tracer.histograms.get(E2E_CATCHUP_LAG, LatencyHistogram(E2E_CATCHUP_LAG))
+    export = export_json(
+        collector,
+        path=export_path,
+        tracer=tracer,
+        extra={
+            "experiment": "run_latency_trace",
+            "hops": n_intermediates + 2,
+            "rate_per_s": rate_per_s,
+            "duration_ms": duration_ms,
+            "events_consumed_steady": steady.stats.events,
+            "events_consumed_churner": churner.stats.events,
+        },
+    )
+    return LatencyTraceResult(
+        sample_rate=sample_rate,
+        traces_started=tracer.started,
+        consumes_observed=tracer.consumed,
+        e2e_p50_ms=e2e.p50,
+        e2e_p95_ms=e2e.p95,
+        e2e_p99_ms=e2e.p99,
+        e2e_samples=e2e.count,
+        catchup_p50_ms=lag.p50,
+        catchup_p95_ms=lag.p95,
+        catchup_p99_ms=lag.p99,
+        catchup_samples=lag.count,
+        span_histograms={
+            name: hist.snapshot() for name, hist in sorted(tracer.histograms.items())
+        },
+        export=export,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Catchup durations & stream rates (Figures 5 and 6)
 # ---------------------------------------------------------------------------
 @dataclass

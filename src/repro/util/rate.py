@@ -24,7 +24,7 @@ class RateCounter:
 
     name: str = ""
     _count: int = 0
-    _last_sample_time: float = 0.0
+    _last_sample_time: Optional[float] = None
     _last_sample_count: int = 0
 
     def record(self, n: int = 1) -> None:
@@ -34,12 +34,28 @@ class RateCounter:
     def total(self) -> int:
         return self._count
 
-    def rate(self, now_ms: float) -> float:
-        """Events per second since the previous call to :meth:`rate`."""
-        elapsed = now_ms - self._last_sample_time
-        delta = self._count - self._last_sample_count
+    def prime(self, now_ms: float) -> None:
+        """Set the window baseline without emitting a sample.
+
+        A counter created at time 0 but first sampled mid-run would
+        otherwise report the whole ``[0, now]`` span diluted into one
+        window; the collector primes its trackers on ``start()``.
+        """
         self._last_sample_time = now_ms
         self._last_sample_count = self._count
+
+    def rate(self, now_ms: float) -> Optional[float]:
+        """Events per second since the previous call to :meth:`rate`.
+
+        Returns ``None`` (no sample) until a baseline exists — the
+        first call after construction primes and reports nothing.
+        """
+        if self._last_sample_time is None:
+            self.prime(now_ms)
+            return None
+        elapsed = now_ms - self._last_sample_time
+        delta = self._count - self._last_sample_count
+        self.prime(now_ms)
         if elapsed <= 0.0:
             return 0.0
         return delta * 1000.0 / elapsed
@@ -58,14 +74,23 @@ class GaugeRate:
     _last_time: Optional[float] = None
     _last_value: Optional[float] = None
 
-    def sample(self, now_ms: float, value: float) -> float:
-        """Gauge units advanced per second since the previous sample."""
+    def prime(self, now_ms: float, value: float) -> None:
+        """Set the window baseline without emitting a sample."""
+        self._last_time, self._last_value = now_ms, value
+
+    def sample(self, now_ms: float, value: float) -> Optional[float]:
+        """Gauge units advanced per second since the previous sample.
+
+        Returns ``None`` (no sample) until a baseline exists, so a
+        tracker first consulted mid-run never reports a window it did
+        not observe in full.
+        """
         if self._last_time is None or self._last_value is None:
-            self._last_time, self._last_value = now_ms, value
-            return 0.0
+            self.prime(now_ms, value)
+            return None
         elapsed = now_ms - self._last_time
         delta = value - self._last_value
-        self._last_time, self._last_value = now_ms, value
+        self.prime(now_ms, value)
         if elapsed <= 0.0:
             return 0.0
         return delta * 1000.0 / elapsed
@@ -92,6 +117,11 @@ class BusyTracker:
     @property
     def total_busy_ms(self) -> float:
         return self._busy_ms
+
+    def prime(self, now_ms: float) -> None:
+        """Reset the window baseline (collector start, mid-run)."""
+        self._last_sample_time = now_ms
+        self._last_sample_busy = self._busy_ms
 
     def idle_fraction(self, now_ms: float) -> float:
         """Fraction of the window since the last sample spent idle (0..1)."""

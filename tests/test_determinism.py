@@ -64,10 +64,23 @@ def _serialize_series(collector: MetricsCollector) -> str:
     return "\n".join(lines)
 
 
-def _run_quickstart(batch_window_ms: float, seed: int) -> bytes:
-    """The quickstart scenario plus seeded random churn."""
+def _run_quickstart(
+    batch_window_ms: float,
+    seed: int,
+    trace_sample_rate: float = None,
+) -> bytes:
+    """The quickstart scenario plus seeded random churn.
+
+    ``trace_sample_rate`` installs the event tracer at that rate
+    (``None`` leaves it uninstalled entirely); either way the tracer is
+    a pure observer and the returned bytes must not depend on it.
+    """
     rng = random.Random(seed)
     sim = Scheduler()
+    if trace_sample_rate is not None:
+        from repro.metrics.trace import install_tracer
+
+        install_tracer(sim, trace_sample_rate, seed=seed)
     overlay = build_two_broker(sim, pubends=["P1"], batch_window_ms=batch_window_ms)
     shb = overlay.shbs[0]
     transcript: List[str] = []
@@ -210,6 +223,25 @@ def test_shb_failure_matches_recorded_digest(window):
     digests = json.loads(_DIGEST_FIXTURE.read_text())
     got = hashlib.sha256(_run_shb_failure(window, seed=99)).hexdigest()
     assert got == digests[f"shb_failure/w{int(window)}/seed99"]
+
+
+@pytest.mark.parametrize("window", WINDOWS)
+def test_tracer_off_is_byte_identical(window):
+    """An installed-but-disabled tracer (sample_rate=0, the default)
+    adds no scheduler events and draws no randomness: the run's bytes
+    match a run with no tracer installed at all."""
+    bare = _run_quickstart(window, seed=1234)
+    installed = _run_quickstart(window, seed=1234, trace_sample_rate=0.0)
+    assert bare == installed
+
+
+def test_tracer_sampling_is_byte_identical():
+    """Even with sampling *on*, the tracer is a pure observer: it uses
+    a private RNG and its histograms are not part of the serialized
+    body, so transcripts and metric series stay byte-identical."""
+    bare = _run_quickstart(0.0, seed=1234)
+    traced = _run_quickstart(0.0, seed=1234, trace_sample_rate=1.0)
+    assert bare == traced
 
 
 def test_different_seeds_differ():

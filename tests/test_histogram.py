@@ -1,0 +1,148 @@
+"""Unit tests for the fixed-bucket log-scale latency histogram."""
+
+import random
+
+import pytest
+
+from repro.metrics.histogram import BUCKET_FACTOR, LatencyHistogram
+from repro.metrics.report import percentile
+
+
+class TestBuckets:
+    def test_bounds_are_log_scale(self):
+        bounds = LatencyHistogram.bounds
+        assert bounds[0] == pytest.approx(0.05)
+        assert bounds[-1] == pytest.approx(120_000.0)
+        for lo, hi in zip(bounds, bounds[1:-1]):
+            assert hi / lo == pytest.approx(BUCKET_FACTOR)
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        # A value exactly on a bucket bound belongs to that bucket
+        # (bisect_left): observing bound b must report percentiles <= b.
+        h = LatencyHistogram("h")
+        bound = LatencyHistogram.bounds[10]
+        h.observe(bound)
+        assert h.p50 == pytest.approx(bound)
+
+    def test_negative_clamped_to_zero(self):
+        h = LatencyHistogram("h")
+        h.observe(-5.0)
+        assert h.count == 1
+        assert h.min == 0.0
+        assert h.p99 == 0.0
+
+    def test_overflow_bucket(self):
+        h = LatencyHistogram("h")
+        h.observe(500_000.0)
+        assert h.count == 1
+        assert h.p99 == pytest.approx(500_000.0)  # overflow reports max
+        assert h.snapshot()["buckets"]["inf"] == 1
+
+    def test_empty(self):
+        h = LatencyHistogram("empty")
+        assert h.count == 0
+        assert h.sum == 0.0
+        assert h.p50 == 0.0 and h.p99 == 0.0
+        assert h.mean == 0.0
+        snap = h.snapshot()
+        assert snap["count"] == 0 and snap["buckets"] == {}
+
+
+class TestMerge:
+    def test_merge_adds_counts(self):
+        a, b = LatencyHistogram("a"), LatencyHistogram("b")
+        for v in [1.0, 2.0, 3.0]:
+            a.observe(v)
+        for v in [100.0, 200.0]:
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 5
+        assert a.sum == pytest.approx(306.0)
+        assert a.max == pytest.approx(200.0)
+        assert a.min == pytest.approx(1.0)
+        # b is untouched.
+        assert b.count == 2
+
+    def test_merge_percentiles_match_combined(self):
+        rng = random.Random(42)
+        values = [rng.uniform(0.1, 5_000.0) for _ in range(2_000)]
+        combined = LatencyHistogram("combined")
+        parts = [LatencyHistogram(f"part{i}") for i in range(4)]
+        for i, v in enumerate(values):
+            combined.observe(v)
+            parts[i % 4].observe(v)
+        merged = LatencyHistogram("merged")
+        for part in parts:
+            merged.merge(part)
+        for pct in (50, 95, 99):
+            assert merged.percentile(pct) == pytest.approx(combined.percentile(pct))
+        assert merged.count == combined.count
+        assert merged.sum == pytest.approx(combined.sum)
+
+    def test_merge_rejects_mismatched_bounds(self):
+        class ShorterBounds(LatencyHistogram):
+            bounds = LatencyHistogram.bounds[:-1]  # simulated drift
+
+        a = LatencyHistogram("a")
+        b = ShorterBounds("b")
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestPercentiles:
+    def test_monotone_in_pct(self):
+        rng = random.Random(7)
+        h = LatencyHistogram("h")
+        for _ in range(5_000):
+            h.observe(rng.expovariate(1 / 40.0))
+        last = 0.0
+        for pct in range(1, 101):
+            p = h.percentile(pct)
+            assert p >= last
+            last = p
+
+    def test_vs_exact_percentile_within_bucket_factor(self):
+        """The histogram's percentile must bracket the exact (raw-data)
+        percentile: never below it, never beyond one bucket factor."""
+        rng = random.Random(99)
+        values = [rng.uniform(0.5, 10_000.0) for _ in range(5_000)]
+        h = LatencyHistogram("h")
+        for v in values:
+            h.observe(v)
+        for pct in (50, 90, 95, 99):
+            exact = percentile(values, pct)
+            approx = h.percentile(pct)
+            assert approx >= exact * 0.999
+            assert approx <= exact * BUCKET_FACTOR
+
+    def test_percentile_clamped_to_observed_max(self):
+        h = LatencyHistogram("h")
+        h.observe(10.0)
+        assert h.p99 <= 10.0 * BUCKET_FACTOR
+        assert h.p99 >= 10.0 or h.p99 == pytest.approx(10.0)
+        assert h.max == pytest.approx(10.0)
+        # Single observation: every percentile is that bucket.
+        assert h.percentile(1) == h.percentile(99)
+
+    def test_pct_zero_returns_min(self):
+        h = LatencyHistogram("h")
+        h.observe(3.0)
+        h.observe(300.0)
+        assert h.percentile(0) == pytest.approx(3.0)
+
+
+class TestSnapshot:
+    def test_snapshot_fields(self):
+        h = LatencyHistogram("lat")
+        for v in [1.0, 10.0, 100.0]:
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["name"] == "lat"
+        assert snap["count"] == 3
+        assert snap["sum_ms"] == pytest.approx(111.0)
+        assert snap["mean_ms"] == pytest.approx(37.0)
+        assert snap["min_ms"] == pytest.approx(1.0)
+        assert snap["max_ms"] == pytest.approx(100.0)
+        assert sum(snap["buckets"].values()) == 3
+        # Only non-empty buckets are serialized.
+        assert len(snap["buckets"]) == 3
