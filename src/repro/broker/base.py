@@ -232,6 +232,20 @@ class Broker:
         )
         return self._sub_epoch_counter
 
+    def _own_storage(self, *stores: object) -> None:
+        """Tag storage devices with this broker's name.
+
+        The crash-point explorer crashes the broker whose storage fired
+        a hook; the ``owner`` attribute (on :class:`SimDisk` and
+        :class:`LogVolume`) is how it finds out whom.  First claim
+        wins: in the single-broker topology the PHB and SHB roles share
+        one disk, and its staged writes are voided by that one shared
+        node's crash either way.
+        """
+        for store in stores:
+            if getattr(store, "owner", None) is None:
+                store.owner = self.name
+
     # ------------------------------------------------------------------
     # Failure injection
     # ------------------------------------------------------------------

@@ -42,6 +42,14 @@ class _PubendRelay:
         #: Per-child contiguous forwarding horizon: ticks at or below it
         #: have already been offered to that child as head knowledge.
         self.sent_cursor: Dict[str, int] = {}
+        #: Per-child refilter floor: the highest ``refilter_below`` any
+        #: nack from that child has carried.  Nack replies routed back
+        #: down must not D→S-filter events below it — the child is
+        #: refiltering that span itself on behalf of a subscription our
+        #: union may not (yet) include.  Monotone: keeping the floor
+        #: after the catchup finishes only passes extra events the
+        #: child asked about, never hides one.
+        self.refilter_floor: Dict[str, int] = {}
 
     def trim_cache(self) -> None:
         frontier = self.cache.max_known()
@@ -144,7 +152,9 @@ class IntermediateBroker(Broker):
             return
         pieces = M.clip_update_to_set(old, interest)
         if not pieces.is_empty():
-            filtered = self._filter_for_child(child, pieces)
+            filtered = self._filter_for_child(
+                child, pieces, keep_below=relay.refilter_floor.get(child, 0)
+            )
             cost = self.costs.forward_per_link_event_ms * max(1, len(pieces.d_events))
             t0 = self.scheduler.now
 
@@ -154,8 +164,13 @@ class IntermediateBroker(Broker):
 
             self.node.submit(cost, job)
 
-    def _filter_for_child(self, child: str, update: M.KnowledgeUpdate) -> M.KnowledgeUpdate:
+    def _filter_for_child(
+        self, child: str, update: M.KnowledgeUpdate, keep_below: int = 0
+    ) -> M.KnowledgeUpdate:
         # A cold union (post-recovery, pre-resync) must not filter.
+        # ``keep_below``: refilter-span replies pass unfiltered — the
+        # child refilters them against the roaming subscription itself
+        # (see PublisherHostingBroker._filter_for_child).
         if not self.child_filter_ready.get(child, True):
             return update
         engine = self.child_engines[child]
@@ -168,7 +183,7 @@ class IntermediateBroker(Broker):
             out.d_events = list(update.d_events)
             return out.coalesce()
         for event in update.d_events:
-            if engine.matches_any(event.attributes):
+            if event.timestamp < keep_below or engine.matches_any(event.attributes):
                 out.d_events.append(event)
             else:
                 out.s_ranges.append((event.timestamp, event.timestamp))
@@ -208,6 +223,8 @@ class IntermediateBroker(Broker):
 
     def _on_nack(self, child: str, nack: M.Nack) -> None:
         relay = self._relay(nack.pubend)
+        if nack.refilter_below > relay.refilter_floor.get(child, 0):
+            relay.refilter_floor[child] = nack.refilter_below
         wanted = IntervalSet(nack.ranges)
         # Answer from the cache first.  Ticks below the nack's refilter
         # boundary must not be cache-served: this cache's S ticks were
@@ -231,7 +248,9 @@ class IntermediateBroker(Broker):
         reply.coalesce()
         if not reply.is_empty():
             self.cache_hits += 1
-            filtered = self._filter_for_child(child, reply)
+            filtered = self._filter_for_child(
+                child, reply, keep_below=relay.refilter_floor.get(child, 0)
+            )
             cost = self.costs.serve_nack_per_event_ms * max(1, len(reply.d_events))
             t0 = self.scheduler.now
 

@@ -47,6 +47,7 @@ class PublisherHostingBroker(Broker):
         super().__init__(scheduler, name, cost_model, speed, node)
         #: The broker's log device, shared by all hosted pubends.
         self.disk = disk if disk is not None else SimDisk(scheduler, f"{name}-log")
+        self._own_storage(self.disk)
         self.pubends: Dict[str, Pubend] = {}
         self.nack_reply_max_events = nack_reply_max_events
         self.events_accepted = 0
@@ -185,12 +186,24 @@ class PublisherHostingBroker(Broker):
 
                 self.node.submit(cost, job)
 
-    def _filter_for_child(self, child: str, update: M.KnowledgeUpdate) -> M.KnowledgeUpdate:
+    def _filter_for_child(
+        self, child: str, update: M.KnowledgeUpdate, keep_below: int = 0
+    ) -> M.KnowledgeUpdate:
         """Convert D ticks that match nothing below ``child`` into S.
 
         A cold union (post-recovery, pre-resync) must not filter:
         passing events the child may not need is safe; hiding events it
         does need would be silent loss.
+
+        ``keep_below``: D events below this tick are passed unfiltered.
+        A nack whose ``refilter_below`` is set is (partly) on behalf of
+        a subscription the union below ``child`` may not include yet —
+        a reconnect-anywhere registration, or a reconnect after the SHB
+        lost its registry, racing nacks already in flight through the
+        SHB's consolidator.  Converting its events to S here would be
+        taken as "nothing matched at this tick" and silently lose them;
+        the SHB refilters the raw events against the subscription's own
+        predicate instead.
         """
         if not self.child_filter_ready.get(child, True):
             return update
@@ -204,7 +217,7 @@ class PublisherHostingBroker(Broker):
             out.d_events = list(update.d_events)
             return out.coalesce()
         for event in update.d_events:
-            if engine.matches_any(event.attributes):
+            if event.timestamp < keep_below or engine.matches_any(event.attributes):
                 out.d_events.append(event)
             else:
                 out.s_ranges.append((event.timestamp, event.timestamp))
@@ -241,7 +254,7 @@ class PublisherHostingBroker(Broker):
         if reply.is_empty():
             return
         self.nacks_served += 1
-        reply = self._filter_for_child(child, reply)
+        reply = self._filter_for_child(child, reply, keep_below=nack.refilter_below)
         cost = self.costs.serve_nack_per_event_ms * max(1, len(reply.d_events))
         t0 = self.scheduler.now
 

@@ -110,6 +110,7 @@ class SubscriberHostingBroker(Broker):
         self.released_table = PersistentTable(f"{name}.released", self.disk)
         self.pfs_volume = LogVolume.in_memory()
         self.pfs = PersistentFilteringSubsystem(self.pfs_volume, self.disk)
+        self._own_storage(self.disk, self.pfs_volume)
 
         # -- volatile state (rebuilt on recovery) -----------------------
         self.registry = SubscriptionRegistry(self.subs_table, self.released_table)
@@ -127,6 +128,15 @@ class SubscriberHostingBroker(Broker):
         self.gaps_enqueued = 0
         self.delivery_batches = 0  # batched-fanout CPU jobs issued
         self._client_extensions: Dict[type, object] = {}
+        #: True while the registry is known to be missing rows: the
+        #: recovered PFS holds records for subscriber nums the committed
+        #: registry cannot name (the rows died uncommitted in the
+        #: crash).  While suspect, this SHB must not speak with
+        #: authority about which subscriptions it hosts — see
+        #: _refresh_subscriptions and _report_release.  Cleared by
+        #: _maybe_clear_suspect once re-registrations cover every
+        #: PFS-referenced num.
+        self.registry_suspect = False
 
         self.node.on_crash(self._on_node_crash)
         self._build_volatile()
@@ -245,26 +255,46 @@ class SubscriberHostingBroker(Broker):
         if sub is None:
             if req.predicate is None:
                 raise ProtocolError(f"first connect of {req.sub_id} must carry a predicate")
-            sub = self.registry.create(req.sub_id, req.predicate)
+            # The registration cursor: PFS records cover this
+            # subscription only from here on.  Persisted with the row —
+            # a later reconnect whose CT is below it must refilter that
+            # span rather than read PFS silence out of it.
+            registered_at = {
+                p: self.constreams[p].delivered_cursor for p in self.pubend_names
+            }
+            # During a recovery replay the PFS can be *ahead* of the
+            # cursor (records become durable before latestDelivered is
+            # committed), and those records were written under the old
+            # life's num assignment; a re-created subscription may be
+            # handed a recycled num.  Coverage therefore starts above
+            # whatever the stream already holds — replayed writes at or
+            # below pfs.last_timestamp are skip-acked, never rewritten.
+            # In steady state last_timestamp <= cursor, so this is the
+            # plain registration cursor.
+            pfs_cover_from = {
+                p: max(registered_at[p], self.pfs.last_timestamp(p))
+                for p in self.pubend_names
+            }
+            sub = self.registry.create(req.sub_id, req.predicate, pfs_from=pfs_cover_from)
             self.engine.add(sub.sub_id, sub.predicate)
             self.send_up(M.SubscriptionAdd(self._global_sub_id(sub.sub_id), sub.predicate))
+            self._maybe_clear_suspect()
             if req.checkpoint is None:
                 # A new subscriber starts at the constream's cursor and
                 # is therefore immediately in non-catchup mode (§4.1).
-                checkpoint = {
-                    p: self.constreams[p].delivered_cursor for p in self.pubend_names
-                }
+                checkpoint = dict(registered_at)
             else:
                 # Reconnect-anywhere (the paper's feature 5): a durable
                 # subscriber from another SHB presents its CT here.
-                # This SHB's PFS has no records for it below the
-                # registration point, so that span is recovered by
-                # refiltering nacked events; from here on the PFS
-                # covers it like any local subscription.
+                # The same happens when *this* SHB crashed before the
+                # registry row was committed: the client reconnects
+                # into an SHB that no longer knows it.  Either way the
+                # PFS has no records for it below the registration
+                # point, so that span is recovered by refiltering
+                # nacked events; from here on the PFS covers it like
+                # any local subscription.
                 checkpoint = dict(req.checkpoint)
-                refilter_until = {
-                    p: self.constreams[p].delivered_cursor for p in self.pubend_names
-                }
+                refilter_until = dict(pfs_cover_from)
             for pubend, t in checkpoint.items():
                 if pubend in self.constreams:
                     self.registry.ack(sub.sub_id, pubend, t)
@@ -272,6 +302,15 @@ class SubscriberHostingBroker(Broker):
             if req.checkpoint is None:
                 raise ProtocolError(f"reconnect of {req.sub_id} must carry its CT")
             checkpoint = dict(req.checkpoint)
+            # A reconnect below the registration cursor (e.g. the
+            # client disconnected mid-catchup shortly after this
+            # subscription was re-created): PFS coverage still only
+            # begins at pfs_from — refilter below it.
+            refilter_until = {
+                p: sub.pfs_from[p]
+                for p in self.pubend_names
+                if checkpoint.get(p, 0) < sub.pfs_from.get(p, 0)
+            }
         if sub.connected:
             # Stale session (e.g. client crashed and reconnected before
             # we noticed); the new session replaces it.
@@ -640,7 +679,18 @@ class SubscriberHostingBroker(Broker):
         only when the count matches the sync (see Broker), so a refresh
         partially eaten by a lossy link can never warm an incomplete
         union upstream; the next refresh simply retries.
+
+        Suppressed while the registry is suspect: an epoch sync from a
+        registry that lost rows would *replace* the parent's union with
+        a subset (in the worst case, replace it with nothing) and still
+        mark it warm — the parent would then convert live D ticks for
+        the lost subscriptions to S, and the recovering constream would
+        accept that silence as final.  Holding our tongue leaves the
+        parent filtering with the pre-crash union, a superset of
+        everything we might still host.
         """
+        if self.registry_suspect:
+            return
         epoch = self._next_sub_epoch()
         count = 0
         for sub in self.registry.all():
@@ -657,6 +707,14 @@ class SubscriberHostingBroker(Broker):
         self.registry.commit()
 
     def _report_release(self) -> None:
+        if self.registry_suspect:
+            # released(p) = min over *all hosted* subscriptions — a
+            # registry missing rows would overstate it, letting the
+            # pubend convert to L (and this PFS chop away) ticks a lost
+            # subscription has not acknowledged.  The parent simply
+            # keeps our pre-crash release floor until re-registrations
+            # account for every subscription the PFS knows about.
+            return
         for pubend, constream in self.constreams.items():
             # Both values are capped at the *committed* latestDelivered:
             # the pubend may release (convert to L) only ticks that a
@@ -683,9 +741,33 @@ class SubscriberHostingBroker(Broker):
         The constream resumes from the committed ``latestDelivered``;
         the head gap check will nack everything the broker missed while
         down; subscribers reconnect on their own and go through catchup.
+
+        If the recovered PFS references subscriber nums the committed
+        registry cannot name, subscription rows died uncommitted in the
+        crash: enter suspect mode (hold union refreshes and release
+        reports) until the owners reconnect and re-register.
         """
+        known = {sub.num for sub in self.registry.all()}
+        self.registry_suspect = bool(self.pfs.live_subscriber_nums() - known)
         self._build_volatile()
         self._refresh_subscriptions()
+
+    def _maybe_clear_suspect(self) -> None:
+        """Leave suspect mode once every PFS-referenced num is claimed.
+
+        Re-registrations recycle nums from zero, so once the registry
+        again covers everything the PFS mentions, this SHB can speak
+        for its full subscription population: resume authoritative
+        union refreshes and release reporting immediately.
+        """
+        if not self.registry_suspect:
+            return
+        known = {sub.num for sub in self.registry.all()}
+        if self.pfs.live_subscriber_nums() - known:
+            return
+        self.registry_suspect = False
+        self._refresh_subscriptions()
+        self._report_release()
 
     def _on_uplink_restored(self) -> None:
         """Partition toward the parent healed: re-sync eagerly.

@@ -28,6 +28,16 @@ class DurableSubscription:
     predicate: Predicate
     #: released(s, p): highest acknowledged timestamp per pubend.
     released: Dict[str, int] = field(default_factory=dict)
+    #: Tick from which this SHB's PFS covers the subscription, per
+    #: pubend: the constream's delivery cursor at the moment the
+    #: subscription entered the matching engine.  Ticks below it were
+    #: matched (and PFS-recorded) without this subscription, so the
+    #: PFS's "no record ⇒ silence" claim is meaningless there — a
+    #: catchup starting below it must refilter raw events instead of
+    #: trusting PFS silence.  Nonzero after a mid-stream registration:
+    #: reconnect-anywhere, or re-registration after this SHB lost an
+    #: uncommitted registry in a crash.
+    pfs_from: Dict[str, int] = field(default_factory=dict)
     connected: bool = False
 
     def released_for(self, pubend: str) -> int:
@@ -64,8 +74,12 @@ class SubscriptionRegistry:
     def _load(self) -> None:
         """Rebuild in-memory state from committed rows (recovery path)."""
         for sub_id, row in self._subs_table.committed_items():
-            num, predicate = row
-            sub = DurableSubscription(sub_id, num, predicate)
+            if len(row) == 3:
+                num, predicate, pfs_from = row
+            else:  # rows written before pfs_from existed
+                num, predicate = row
+                pfs_from = {}
+            sub = DurableSubscription(sub_id, num, predicate, pfs_from=dict(pfs_from))
             self._subs[sub_id] = sub
             self._by_num[num] = sub
             self._next_num = max(self._next_num, num + 1)
@@ -78,16 +92,29 @@ class SubscriptionRegistry:
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
-    def create(self, sub_id: str, predicate: Predicate) -> DurableSubscription:
-        """Register a brand-new durable subscription."""
+    def create(
+        self,
+        sub_id: str,
+        predicate: Predicate,
+        pfs_from: Optional[Dict[str, int]] = None,
+    ) -> DurableSubscription:
+        """Register a brand-new durable subscription.
+
+        ``pfs_from``: per-pubend registration cursor (see
+        :class:`DurableSubscription`); persisted with the row so a
+        reconnect after any number of SHB crashes still knows where
+        PFS coverage for this subscription begins.
+        """
         if sub_id in self._subs:
             raise SubscriptionError(f"subscription {sub_id} already exists")
-        sub = DurableSubscription(sub_id, self._next_num, predicate)
+        sub = DurableSubscription(
+            sub_id, self._next_num, predicate, pfs_from=dict(pfs_from or {})
+        )
         self._next_num += 1
         self.version += 1
         self._subs[sub_id] = sub
         self._by_num[sub.num] = sub
-        self._subs_table.put(sub_id, (sub.num, predicate))
+        self._subs_table.put(sub_id, (sub.num, predicate, dict(sub.pfs_from)))
         return sub
 
     def drop(self, sub_id: str) -> None:

@@ -37,9 +37,10 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, Iterable, List, Optional
 
+from ..sim.crashpoints import HOOKS
 from ..storage.disk import SimDisk
 from ..storage.logvolume import LogStream, LogVolume
-from ..util.errors import StorageError
+from ..util.errors import RecordNotFoundError, StorageError
 from .records import NO_PREVIOUS, PFSRecord
 
 
@@ -88,6 +89,17 @@ class PersistentFilteringSubsystem:
         self.bytes_written = 0
         self.reads = 0
         self.reads_reaching_last = 0
+        #: Batch reads that hit a backpointer-chain break (a record
+        #: missing or lacking the subscriber — a chop racing the walk)
+        #: and degraded to a truncated result instead of failing.
+        self.chain_breaks = 0
+
+    @property
+    def owner(self) -> Optional[str]:
+        """The broker whose crash discards un-synced PFS appends."""
+        if self.disk is not None and self.disk.owner is not None:
+            return self.disk.owner
+        return self.volume.owner
 
     def _state(self, pubend: str) -> _PubendState:
         state = self._pubends.get(pubend)
@@ -134,6 +146,9 @@ class PersistentFilteringSubsystem:
             raise StorageError(
                 f"non-monotonic PFS write: {timestamp} <= {state.last_timestamp}"
             )
+        if HOOKS.enabled:
+            # Crash here: nothing of this record exists anywhere.
+            HOOKS.fire("pfs.write.pre", self.owner)
         record = PFSRecord.build(timestamp, subs, state.last_index)
         index = state.stream.append(record.encode())
         for num in subs:
@@ -141,9 +156,22 @@ class PersistentFilteringSubsystem:
         state.last_timestamp = timestamp
         self.writes += 1
         self.bytes_written += record.size_bytes
+        if HOOKS.enabled:
+            # Crash here: appended and indexed in memory, but the
+            # covering sync never started — the record must vanish.
+            HOOKS.fire("pfs.write.post", self.owner)
 
         def durable() -> None:
+            if HOOKS.enabled:
+                # Crash here: synced, but the durable horizon was never
+                # advanced — recovery truncates the record away and the
+                # constream replay re-writes it.
+                HOOKS.fire("pfs.durable.pre", self.owner)
             state.durable_next_index = max(state.durable_next_index, index + 1)
+            if HOOKS.enabled:
+                # Crash here: durable, but latestDelivered never
+                # advanced past it.
+                HOOKS.fire("pfs.durable.post", self.owner)
             if on_durable is not None:
                 on_durable()
 
@@ -163,6 +191,20 @@ class PersistentFilteringSubsystem:
     def last_timestamp(self, pubend: str) -> int:
         return self._state(pubend).last_timestamp
 
+    def live_subscriber_nums(self) -> set:
+        """Subscriber nums referenced by any live (unchopped) record.
+
+        After :meth:`recover` this is exact (the index maps were just
+        rebuilt by a full scan).  The SHB compares it against its
+        registry at recovery: a num the registry cannot name proves
+        durable subscriptions were lost with an uncommitted table —
+        the signal for suspect-registry mode.
+        """
+        nums: set = set()
+        for state in self._pubends.values():
+            nums.update(state.last_index.keys())
+        return nums
+
     def read_batch(
         self,
         pubend: str,
@@ -173,6 +215,17 @@ class PersistentFilteringSubsystem:
         """Batch-read subscriber ``subscriber_num``'s ticks after ``after``.
 
         See the module docstring for the exact semantics of the result.
+
+        A walk can cross a *concurrent* ``chop_below`` — a reconnect
+        racing a release: the chain enters records the chop has already
+        discarded (or that no longer carry the subscriber after a
+        recovery rebuilt the index maps).  That is not corruption of
+        anything the subscriber still needs — everything at or below
+        the break was released — so instead of failing the catchup
+        stream the batch is truncated: ``known_from`` is raised to the
+        oldest tick the walk could still vouch for, the caller nacks
+        the unknown span below it, and the pubend answers L (a gap)
+        for whatever was genuinely released.
         """
         if buffer_qs <= 0:
             raise ValueError("buffer_qs must be positive")
@@ -181,9 +234,14 @@ class PersistentFilteringSubsystem:
         ring: Deque[int] = deque(maxlen=buffer_qs)
         visited = 0
         pushed = 0
+        truncated = False
         index = state.last_index.get(subscriber_num, NO_PREVIOUS)
         while index != NO_PREVIOUS and index >= state.stream.chopped_below:
-            record = PFSRecord.decode(state.stream.read(index))
+            try:
+                record = PFSRecord.decode(state.stream.read(index))
+            except RecordNotFoundError:
+                truncated = True
+                break
             visited += 1
             if record.timestamp <= after:
                 break
@@ -191,12 +249,22 @@ class PersistentFilteringSubsystem:
             pushed += 1
             prev = record.prev_index_of(subscriber_num)
             if prev is None:
-                raise StorageError(
-                    f"backpointer chain corrupt: record {index} lacks subscriber {subscriber_num}"
-                )
+                # The record does not carry this subscriber — a stale
+                # index entry left by a chop/recovery race.  The tick
+                # just pushed is not a Q for the subscriber: retract it
+                # before truncating, or it would be vouched as Q.
+                ring.pop()
+                pushed -= 1
+                truncated = True
+                break
             index = prev
         overflowed = pushed > buffer_qs
-        q_ticks = sorted(ring)
+        known_from = state.chopped_from_ts
+        if truncated:
+            self.chain_breaks += 1
+            boundary = min(ring) if ring else state.last_timestamp + 1
+            known_from = max(known_from, boundary)
+        q_ticks = sorted(t for t in ring if t >= known_from)
         covered_to = q_ticks[-1] if overflowed and q_ticks else state.last_timestamp
         if not overflowed:
             self.reads_reaching_last += 1
@@ -204,7 +272,7 @@ class PersistentFilteringSubsystem:
             after=after,
             covered_to=max(covered_to, after),
             q_ticks=q_ticks,
-            known_from=state.chopped_from_ts,
+            known_from=known_from,
             reached_last_timestamp=not overflowed,
             records_visited=visited,
         )
@@ -220,6 +288,9 @@ class PersistentFilteringSubsystem:
         state = self._state(pubend)
         if timestamp <= state.chopped_from_ts:
             return 0
+        if HOOKS.enabled:
+            # Crash here: the release advanced but nothing was chopped.
+            HOOKS.fire("pfs.chop.pre", self.owner)
         stream = state.stream
         chopped = 0
         last_chopped_index = None
@@ -238,6 +309,10 @@ class PersistentFilteringSubsystem:
                 if idx <= last_chopped_index:
                     del state.last_index[num]
         state.chopped_from_ts = timestamp
+        if HOOKS.enabled:
+            # Crash here: records gone, index maps pruned — catchup
+            # walks that raced this chop must degrade, not fail.
+            HOOKS.fire("pfs.chop.post", self.owner)
         return chopped
 
     # ------------------------------------------------------------------

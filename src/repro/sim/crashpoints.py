@@ -1,0 +1,576 @@
+"""Deterministic crash-point exploration of the storage stack.
+
+PR 2's chaos soak samples crashes at *random* times, so a crash that
+lands exactly between "record appended" and "durable callback fired"
+is only hit by luck.  This module instead enumerates every durability
+boundary the storage stack crosses during a scripted scenario and
+replays the scenario once per boundary, crashing the broker that owns
+the storage *at* that boundary — ALICE/CrashMonkey-style systematic
+exploration.
+
+Mechanics
+---------
+
+* Storage modules (``storage/disk.py``, ``storage/table.py``,
+  ``storage/logvolume.py``, ``storage/eventlog.py``, ``pfs/pfs.py``)
+  call ``HOOKS.fire(site, owner)`` at each durability boundary, e.g.
+  just before and just after a ``PersistentTable`` batch lands in the
+  committed view.  ``HOOKS`` is the module-global below; with no
+  listener installed (the default) ``fire`` is never even called —
+  call sites guard with ``if HOOKS.enabled:`` — so the instrumented
+  code is byte-identical in behavior to the uninstrumented code
+  (pinned by the determinism digest fixtures).
+
+* A **census** run installs a recording listener and replays the
+  scripted scenario once, yielding the ordered list of crash points:
+  firing ``seq`` (ordinal), ``site`` (e.g. ``pfs.durable.pre``) and
+  ``owner`` (the broker whose storage fired).
+
+* An **injection** run installs a listener armed with one target
+  ``seq``.  The simulation prefix is deterministic, so the target
+  firing happens at exactly the census-observed boundary; the listener
+  raises :class:`SimulatedCrash`, which unwinds out of
+  ``Scheduler.run_until`` mid-event — precisely the torn state a real
+  crash leaves.  The explorer then crash-stops the owning broker
+  (voiding staged writes, exactly like the chaos soak), schedules
+  recovery, finishes the script, waits for convergence, and runs the
+  oracle suite from :mod:`repro.sim.oracles`.
+
+Run it from the command line::
+
+    PYTHONPATH=src python -m repro.sim.crashpoints --max-points 120 \
+        --out explorer_summary.json
+
+The module level is import-light (stdlib only) so storage modules can
+import ``HOOKS`` without cycles; the scenario machinery imports the
+rest of the package lazily.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "HOOKS",
+    "CrashPoint",
+    "CrashPointHooks",
+    "SimulatedCrash",
+    "CrashOutcome",
+    "ExplorationSummary",
+    "census",
+    "explore",
+    "select_points",
+]
+
+
+# ----------------------------------------------------------------------
+# Hook primitive (imported by the storage modules)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CrashPoint:
+    """One numbered durability-boundary firing in the scripted run."""
+
+    seq: int                 # firing ordinal within the run (0-based)
+    site: str                # boundary name, e.g. "disk.sync.callback"
+    owner: Optional[str]     # name of the broker owning the storage
+
+    def label(self) -> str:
+        return f"#{self.seq} {self.site}@{self.owner}"
+
+
+class SimulatedCrash(Exception):
+    """Raised by an armed hook listener to tear the simulation mid-event.
+
+    Deliberately *not* a subclass of any repro error type: nothing in
+    ``src/`` catches broad exceptions, so the unwind reaches the
+    explorer's ``run_until`` call with all intermediate state torn —
+    the same cut a power failure would make.
+    """
+
+    def __init__(self, point: CrashPoint) -> None:
+        super().__init__(point.label())
+        self.point = point
+
+
+class CrashPointHooks:
+    """Process-global crash-point hook registry.
+
+    ``enabled`` is False unless a listener is installed; call sites
+    guard with ``if HOOKS.enabled:`` so the disabled cost is one
+    attribute check and the simulation's event/RNG stream is untouched.
+    """
+
+    __slots__ = ("enabled", "_listener")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._listener: Optional[Callable[[str, Optional[str]], None]] = None
+
+    def install(self, listener: Callable[[str, Optional[str]], None]) -> None:
+        if self._listener is not None:
+            raise RuntimeError("a crash-point listener is already installed")
+        self._listener = listener
+        self.enabled = True
+
+    def uninstall(self) -> None:
+        self._listener = None
+        self.enabled = False
+
+    def fire(self, site: str, owner: Optional[str]) -> None:
+        listener = self._listener
+        if listener is not None:
+            listener(site, owner)
+
+
+#: The registry every instrumented storage module reports to.
+HOOKS = CrashPointHooks()
+
+
+class _CensusListener:
+    """Records every firing, in order."""
+
+    def __init__(self) -> None:
+        self.points: List[CrashPoint] = []
+
+    def __call__(self, site: str, owner: Optional[str]) -> None:
+        self.points.append(CrashPoint(len(self.points), site, owner))
+
+
+class _InjectListener:
+    """Counts firings and raises at the target ordinal, exactly once."""
+
+    def __init__(self, target_seq: int) -> None:
+        self.target_seq = target_seq
+        self.seq = 0
+        self.fired: Optional[CrashPoint] = None
+
+    def __call__(self, site: str, owner: Optional[str]) -> None:
+        seq = self.seq
+        self.seq += 1
+        if seq == self.target_seq and self.fired is None:
+            self.fired = CrashPoint(seq, site, owner)
+            raise SimulatedCrash(self.fired)
+
+
+# ----------------------------------------------------------------------
+# The scripted scenario
+# ----------------------------------------------------------------------
+#: Publisher stops here; the script keeps running so releases and chops
+#: still happen over the full log.
+PUBLISH_UNTIL_MS = 2_400.0
+#: End of the scripted portion (census enumerates boundaries up to here).
+SCRIPT_END_MS = 3_600.0
+
+
+@dataclass
+class _Scenario:
+    sim: object
+    overlay: object
+    subscribers: List[object]
+    publisher: object
+    truth: Dict[str, Tuple[int, Dict[str, object]]]   # eid -> (tick, attrs)
+    schedule: object
+    knowledge_probe: object
+    record_truth: Callable[[], None]
+
+    def broker_of(self, owner: Optional[str]) -> Optional[object]:
+        for broker in self.overlay.all_brokers():
+            if broker.name == owner:
+                return broker
+        return None
+
+    def expected(self, sub) -> Dict[str, int]:
+        """event_id -> tick of every durably logged event matching sub."""
+        out: Dict[str, int] = {}
+        for eid, (tick, attrs) in self.truth.items():
+            if sub.predicate.matches(attrs):
+                out[eid] = tick
+        return out
+
+
+def _build_scenario():
+    """A compact two-broker run exercising every storage subsystem.
+
+    Three subscribers with overlapping ``In`` predicates (so PFS records
+    multiplex), a mid-run disconnect/reconnect (so catchup reads and
+    release chops happen during the scripted window, not only in the
+    post-crash tail), releases flowing (acks every 250 ms), a *reliable*
+    publisher (go-back-N + PHB seq dedup, so PHB-side crash points at
+    the event log and seq table are on the exactly-once path, not the
+    fire-and-forget one), and a reconnect supervisor so injected
+    crashes always heal.
+    """
+    from ..broker.topology import build_two_broker
+    from ..client.publisher import ReliablePublisher
+    from ..client.subscriber import DurableSubscriber
+    from ..matching.predicates import In
+    from ..net.node import Node
+    from ..net.simtime import Scheduler
+    from .failures import FailureSchedule
+    from .oracles import KnowledgeMonotonicityProbe
+
+    sim = Scheduler()
+    overlay = build_two_broker(sim, pubends=["P1"])
+    shb = overlay.shbs[0]
+
+    subscribers = []
+    for i in range(3):
+        machine = Node(sim, f"xp-m{i + 1}")
+        sub = DurableSubscriber(
+            sim, f"xp-s{i + 1}", machine, In("group", [i % 3, (i + 1) % 3]),
+            record_events=True, connect_retry_ms=400.0,
+        )
+        sub.connect(shb)
+        subscribers.append(sub)
+
+    publisher = ReliablePublisher(
+        sim, overlay.phb, Node(sim, "xp-pub-machine"), "xp-pub", "P1",
+        retransmit_ms=400.0,
+    )
+
+    def feed(count=[0]) -> None:  # noqa: B006 - deliberate mutable default
+        if sim.now < PUBLISH_UNTIL_MS:
+            publisher.publish({"group": count[0] % 3})
+            count[0] += 1
+
+    sim.every(1000.0 / 150.0, feed)
+
+    # Scripted churn: one subscriber bounces so PFS catchup reads and
+    # chop interactions are inside the enumerated window.
+    sim.at(700.0, subscribers[1].disconnect)
+    sim.at(1500.0, lambda: (
+        subscribers[1].connect(shb) if not subscribers[1].connected else None
+    ))
+
+    # Ground truth: everything the PHB has durably logged, snapshotted
+    # before releases chop it (same recorder the chaos soak uses).
+    truth: Dict[str, Tuple[int, Dict[str, object]]] = {}
+
+    def record_truth() -> None:
+        log = overlay.phb.pubends["P1"].log
+        for ev in log.read_range(0, 2 ** 60):
+            truth.setdefault(ev.event_id, (ev.timestamp, ev.attributes))
+
+    sim.every(50.0, record_truth)
+
+    schedule = FailureSchedule(sim)
+    probe = KnowledgeMonotonicityProbe(sim, shb, ["P1"], interval_ms=100.0)
+
+    # Reconnect supervisor: clients that lost their link to a crashed
+    # SHB come back once both ends are up.
+    def supervise() -> None:
+        for sub in subscribers:
+            if not sub.connected and not sub.node.is_down and not shb.node.is_down:
+                sub.connect(shb)
+
+    sim.every(331.0, supervise)
+
+    return _Scenario(
+        sim=sim, overlay=overlay, subscribers=subscribers,
+        publisher=publisher, truth=truth, schedule=schedule,
+        knowledge_probe=probe, record_truth=record_truth,
+    )
+
+
+def _advance(scn: _Scenario, until: float, on_crash) -> None:
+    """run_until that converts a SimulatedCrash into a broker crash."""
+    while True:
+        try:
+            scn.sim.run_until(until)
+            return
+        except SimulatedCrash as exc:
+            on_crash(exc.point)
+
+
+def _run_script(scn: _Scenario, on_crash) -> None:
+    # The feeder stops itself at PUBLISH_UNTIL_MS; the remaining window
+    # lets releases, chops and retransmissions play out under hooks.
+    _advance(scn, SCRIPT_END_MS, on_crash)
+
+
+def _converge(scn: _Scenario, grace_ms: float, on_crash) -> Optional[float]:
+    """Run past the script until every subscriber has everything.
+
+    Returns the convergence time, or None if the grace deadline passed.
+    """
+    deadline = SCRIPT_END_MS + grace_ms
+
+    def settled() -> bool:
+        if scn.publisher.unacknowledged:
+            return False
+        for sub in scn.subscribers:
+            if not sub.connected:
+                return False
+            expected = scn.expected(sub)
+            if not set(expected) <= sub.received_event_id_set:
+                return False
+        return True
+
+    while True:
+        if settled():
+            return scn.sim.now
+        if scn.sim.now >= deadline:
+            return None
+        _advance(scn, min(scn.sim.now + 250.0, deadline), on_crash)
+
+
+# ----------------------------------------------------------------------
+# Census, selection, exploration
+# ----------------------------------------------------------------------
+def census() -> List[CrashPoint]:
+    """Enumerate every boundary firing in the scripted scenario."""
+    listener = _CensusListener()
+    scn = _build_scenario()
+    HOOKS.install(listener)
+    try:
+        _run_script(scn, on_crash=lambda point: None)
+    finally:
+        HOOKS.uninstall()
+    return listener.points
+
+
+def select_points(
+    points: List[CrashPoint], max_points: Optional[int]
+) -> List[CrashPoint]:
+    """Deterministic stratified subset: cover every distinct
+    (site, owner) boundary kind first, then fill the budget with an
+    even stride over the remaining firings so the whole timeline is
+    sampled, not just the warm-up."""
+    if max_points is None or max_points >= len(points):
+        return list(points)
+    groups: Dict[Tuple[str, Optional[str]], List[CrashPoint]] = {}
+    for p in points:
+        groups.setdefault((p.site, p.owner), []).append(p)
+    chosen: Dict[int, CrashPoint] = {}
+    for key in sorted(groups, key=lambda k: (k[0], k[1] or "")):
+        first = groups[key][0]
+        chosen[first.seq] = first
+        if len(chosen) >= max_points:
+            break
+    rest = [p for p in points if p.seq not in chosen]
+    need = max_points - len(chosen)
+    if need > 0 and rest:
+        stride = len(rest) / need
+        for k in range(need):
+            p = rest[min(int(k * stride), len(rest) - 1)]
+            chosen[p.seq] = p
+    return sorted(chosen.values(), key=lambda p: p.seq)
+
+
+@dataclass
+class CrashOutcome:
+    """Result of one injection run."""
+
+    point: CrashPoint
+    crashed_broker: Optional[str]
+    converged_at_ms: Optional[float]
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "seq": self.point.seq,
+            "site": self.point.site,
+            "owner": self.point.owner,
+            "crashed_broker": self.crashed_broker,
+            "converged_at_ms": self.converged_at_ms,
+            "violations": list(self.violations),
+        }
+
+
+@dataclass
+class ExplorationSummary:
+    """Everything a CI artifact (or a human) needs from one sweep."""
+
+    census_points: int
+    distinct_sites: int
+    baseline_violations: List[str]
+    outcomes: List[CrashOutcome]
+
+    @property
+    def violations(self) -> List[Tuple[Optional[CrashPoint], str]]:
+        out: List[Tuple[Optional[CrashPoint], str]] = [
+            (None, v) for v in self.baseline_violations
+        ]
+        for outcome in self.outcomes:
+            out.extend((outcome.point, v) for v in outcome.violations)
+        return out
+
+    def to_json(self) -> Dict[str, object]:
+        sites: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            sites[outcome.point.site] = sites.get(outcome.point.site, 0) + 1
+        return {
+            "census_points": self.census_points,
+            "distinct_sites": self.distinct_sites,
+            "explored_points": len(self.outcomes),
+            "explored_by_site": dict(sorted(sites.items())),
+            "baseline_violations": list(self.baseline_violations),
+            "violation_count": len(self.violations),
+            "unconverged": [
+                o.point.label() for o in self.outcomes
+                if o.converged_at_ms is None
+            ],
+            "outcomes": [o.to_json() for o in self.outcomes if o.violations],
+        }
+
+
+def _check_oracles(scn: _Scenario) -> List[str]:
+    from .oracles import check_all
+
+    # Final truth sweep: events durably logged (and delivered) in the
+    # last instants before the oracle check may postdate the last
+    # 50 ms sampling tick.
+    scn.record_truth()
+    return check_all(
+        overlay=scn.overlay,
+        subscribers=scn.subscribers,
+        expected_of=scn.expected,
+        knowledge_probe=scn.knowledge_probe,
+        truth_ids=set(scn.truth),
+    )
+
+
+def _explore_one(
+    point: CrashPoint, down_ms: float, grace_ms: float
+) -> CrashOutcome:
+    """Replay the scenario, crash at ``point``, recover, run oracles."""
+    scn = _build_scenario()
+    listener = _InjectListener(point.seq)
+    crashed: List[str] = []
+
+    def on_crash(fired: CrashPoint) -> None:
+        broker = scn.broker_of(fired.owner)
+        if broker is None:
+            crashed.append(f"<unowned:{fired.site}>")
+            return
+        crashed.append(broker.name)
+        scn.schedule.crash_now(broker, down_ms)
+
+    HOOKS.install(listener)
+    try:
+        _run_script(scn, on_crash)
+        converged_at = _converge(scn, grace_ms, on_crash)
+    finally:
+        HOOKS.uninstall()
+
+    violations = _check_oracles(scn)
+    if listener.fired is None:
+        violations.append(
+            f"{point.label()}: target firing never happened "
+            f"(census/injection divergence; saw {listener.seq} firings)"
+        )
+    elif listener.fired.site != point.site or listener.fired.owner != point.owner:
+        violations.append(
+            f"{point.label()}: fired as {listener.fired.label()} "
+            "(census/injection divergence)"
+        )
+    if crashed and crashed[0].startswith("<unowned:"):
+        violations.append(f"{point.label()}: boundary fired with no owner")
+    if converged_at is None:
+        violations.append(
+            f"{point.label()}: no convergence within {grace_ms:.0f} ms grace"
+        )
+    return CrashOutcome(
+        point=point,
+        crashed_broker=crashed[0] if crashed else None,
+        converged_at_ms=converged_at,
+        violations=violations,
+    )
+
+
+def explore(
+    max_points: Optional[int] = None,
+    down_ms: float = 450.0,
+    grace_ms: float = 20_000.0,
+    progress: Optional[Callable[[int, int, CrashOutcome], None]] = None,
+) -> ExplorationSummary:
+    """Census the scenario, then crash it at (a stratified subset of)
+    every enumerated boundary and oracle-check each recovery.
+
+    The baseline (no-crash) run is oracle-checked too: a violation
+    there means the scenario itself is broken, not recovery.
+    """
+    points = census()
+
+    baseline = _build_scenario()
+    _run_script(baseline, on_crash=lambda point: None)
+    baseline_converged = _converge(
+        baseline, grace_ms, on_crash=lambda point: None
+    )
+    baseline_violations = _check_oracles(baseline)
+    if baseline_converged is None:
+        baseline_violations.append("baseline run did not converge")
+
+    selected = select_points(points, max_points)
+    outcomes: List[CrashOutcome] = []
+    for i, point in enumerate(selected):
+        outcome = _explore_one(point, down_ms, grace_ms)
+        outcomes.append(outcome)
+        if progress is not None:
+            progress(i + 1, len(selected), outcome)
+
+    return ExplorationSummary(
+        census_points=len(points),
+        distinct_sites=len({(p.site, p.owner) for p in points}),
+        baseline_violations=baseline_violations,
+        outcomes=outcomes,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Systematically crash every storage durability "
+        "boundary in a scripted pub/sub scenario and verify recovery."
+    )
+    parser.add_argument(
+        "--max-points", type=int, default=None,
+        help="bound the injection runs to a stratified subset "
+        "(default: every enumerated point — the full sweep)",
+    )
+    parser.add_argument("--down-ms", type=float, default=450.0,
+                        help="how long a crashed broker stays down")
+    parser.add_argument("--grace-ms", type=float, default=20_000.0,
+                        help="post-script convergence grace window")
+    parser.add_argument("--out", type=str, default=None,
+                        help="write the JSON summary here")
+    args = parser.parse_args(argv)
+
+    def progress(done: int, total: int, outcome: CrashOutcome) -> None:
+        if outcome.violations or done % 25 == 0 or done == total:
+            status = "VIOLATION" if outcome.violations else "ok"
+            print(f"[{done}/{total}] {outcome.point.label()}: {status}")
+            for v in outcome.violations:
+                print(f"    {v}")
+
+    summary = explore(
+        max_points=args.max_points, down_ms=args.down_ms,
+        grace_ms=args.grace_ms, progress=progress,
+    )
+    blob = summary.to_json()
+    print(json.dumps({k: blob[k] for k in (
+        "census_points", "distinct_sites", "explored_points",
+        "violation_count",
+    )}))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(blob, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 1 if summary.violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    # Under ``python -m`` this file runs as ``__main__`` while the
+    # storage modules import (and fire) ``repro.sim.crashpoints.HOOKS``
+    # — a different module object, so a listener installed here would
+    # record nothing.  Delegate to the canonical package module.
+    from repro.sim.crashpoints import main as _pkg_main
+
+    raise SystemExit(_pkg_main())

@@ -53,6 +53,19 @@ class FailureSchedule:
         self.records.append(FaultRecord("crash", broker.name, at_ms, down_ms))
         self.scheduler.at(at_ms, broker.fail_for, down_ms)
 
+    def crash_now(self, broker: Broker, down_ms: float) -> None:
+        """Crash-stop ``broker`` immediately and recover after ``down_ms``.
+
+        The crash-point explorer decides the crash target only once an
+        armed hook fires mid-event, so it cannot pre-schedule the crash
+        the way ``crash_broker`` does; this records the same
+        :class:`FaultRecord` for uniform post-run accounting.
+        """
+        self.records.append(
+            FaultRecord("crash", broker.name, self.scheduler.now, down_ms)
+        )
+        broker.fail_for(down_ms)
+
     def crash_node(self, node: Node, at_ms: float, down_ms: float) -> None:
         """Crash a raw node (e.g. a client machine)."""
         self.records.append(FaultRecord("crash", node.name, at_ms, down_ms))

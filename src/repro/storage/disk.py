@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Tuple
 
 from ..net.simtime import Scheduler
+from ..sim.crashpoints import HOOKS
 
 
 class SimDisk:
@@ -45,6 +46,11 @@ class SimDisk:
             raise ValueError("bandwidth must be positive")
         self.scheduler = scheduler
         self.name = name
+        #: Name of the broker whose crash voids this device's staged
+        #: writes (set by ``Broker._own_storage``); the crash-point
+        #: explorer uses it to decide *whom* to crash when a hook on
+        #: this device fires.  Purely diagnostic otherwise.
+        self.owner: Optional[str] = None
         self.sync_interval_ms = sync_interval_ms
         self.sync_duration_ms = sync_duration_ms
         self.bandwidth_bytes_per_ms = bandwidth_bytes_per_ms
@@ -86,6 +92,9 @@ class SimDisk:
         self._sync_scheduled = False
         if self._sync_in_flight or not self._staged:
             return
+        if HOOKS.enabled:
+            # Crash here: the batch is still staged, nothing in flight.
+            HOOKS.fire("disk.sync.begin", self.owner)
         batch, self._staged = self._staged, []
         batch_bytes = sum(n for n, _ in batch)
         duration = self.sync_duration_ms + batch_bytes / self.bandwidth_bytes_per_ms
@@ -101,13 +110,30 @@ class SimDisk:
     ) -> None:
         if epoch != self._epoch:
             return  # the device crashed while this sync was in flight
+        if HOOKS.enabled:
+            # Crash here: the platter write "happened" but no caller has
+            # been told — fired before the in-flight counters are
+            # cleared so ``crash_reset`` still counts the batch as lost.
+            HOOKS.fire("disk.sync.complete.pre", self.owner)
         self._sync_in_flight = False
         self._inflight_writes = 0
         self.bytes_written += batch_bytes
         self.syncs_completed += 1
         for _n, cb in batch:
+            if HOOKS.enabled:
+                # Crash between callbacks: a *prefix* of the batch has
+                # been acknowledged durable — the torn cut ordered
+                # journaling permits.
+                HOOKS.fire("disk.sync.callback", self.owner)
             if cb is not None:
                 cb()
+            if epoch != self._epoch:
+                # A callback crashed the device (directly or via an
+                # injected crash while this frame survived): the rest
+                # of the batch must never be acknowledged.
+                return
+        if HOOKS.enabled:
+            HOOKS.fire("disk.sync.complete.post", self.owner)
         if self._staged:
             self._arm_sync()
 

@@ -21,6 +21,7 @@ import bisect
 from typing import Callable, Dict, List, Optional
 
 from ..core.events import Event
+from ..sim.crashpoints import HOOKS
 from ..util.errors import StorageError
 from .disk import SimDisk
 
@@ -37,6 +38,11 @@ class PersistentEventLog:
         self._durable_epoch = 0
         self.appended = 0
         self.bytes_logged = 0
+
+    @property
+    def owner(self) -> Optional[str]:
+        """The broker whose crash voids staged appends (via the disk)."""
+        return self._disk.owner if self._disk is not None else None
 
     # ------------------------------------------------------------------
     # Write path
@@ -56,10 +62,19 @@ class PersistentEventLog:
         def durable() -> None:
             if epoch != self._durable_epoch:
                 return  # lost in a crash before the sync completed
+            if HOOKS.enabled:
+                # Crash here: the sync completed but the event never
+                # entered the durable view — it must be recovered via
+                # publisher retransmission, never half-applied.
+                HOOKS.fire("eventlog.durable.pre", self.owner)
             self._events[event.timestamp] = event
             self._timestamps.append(event.timestamp)
             self.appended += 1
             self.bytes_logged += event.size_bytes
+            if HOOKS.enabled:
+                # Crash here: durably logged, but knowledge of it was
+                # never disseminated (on_durable unfired).
+                HOOKS.fire("eventlog.durable.post", self.owner)
             if on_durable is not None:
                 on_durable()
 
@@ -105,11 +120,19 @@ class PersistentEventLog:
         """
         if timestamp <= self._chopped_below:
             return 0
+        if HOOKS.enabled:
+            # Crash here: the release decision was made but no event
+            # has been discarded yet.
+            HOOKS.fire("eventlog.chop.pre", self.owner)
         cut = bisect.bisect_left(self._timestamps, timestamp)
         for t in self._timestamps[:cut]:
             del self._events[t]
         del self._timestamps[:cut]
         self._chopped_below = timestamp
+        if HOOKS.enabled:
+            # Crash here: the prefix is gone; the release bound must
+            # already cover it or recovery would resurrect L as data.
+            HOOKS.fire("eventlog.chop.post", self.owner)
         return cut
 
     def crash_reset(self) -> None:

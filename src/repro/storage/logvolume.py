@@ -34,6 +34,7 @@ import struct
 import zlib
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..sim.crashpoints import HOOKS
 from ..util.errors import CorruptLogError, RecordNotFoundError
 
 _MAGIC = b"GLV1"
@@ -59,9 +60,16 @@ class LogStream:
     # -- write ---------------------------------------------------------
     def append(self, record: bytes) -> int:
         """Append ``record``; returns its monotonic index."""
+        if HOOKS.enabled:
+            # Crash here: the index was never assigned, nothing stored.
+            HOOKS.fire("logstream.append.pre", self._volume.owner)
         index = self.next_index
         self.next_index += 1
         self._volume._backend.append(self.stream_id, index, record)
+        if HOOKS.enabled:
+            # Crash here: stored and indexed, but the caller's own
+            # bookkeeping (e.g. PFS last_index) has not seen it.
+            HOOKS.fire("logstream.append.post", self._volume.owner)
         return index
 
     def chop(self, up_to_index: int) -> None:
@@ -71,8 +79,12 @@ class LogStream:
         bound = min(up_to_index, self.next_index - 1)
         if bound < self.chopped_below:
             return
+        if HOOKS.enabled:
+            HOOKS.fire("logstream.chop.pre", self._volume.owner)
         self._volume._backend.chop(self.stream_id, bound)
         self.chopped_below = bound + 1
+        if HOOKS.enabled:
+            HOOKS.fire("logstream.chop.post", self._volume.owner)
 
     def crash_truncate(self, durable_next_index: int) -> int:
         """Simulated crash: discard appends with index >= ``durable_next_index``.
@@ -81,10 +93,17 @@ class LogStream:
         tracks durability externally (a :class:`SimDisk`); the file
         backend loses its torn tail for real during recovery instead.
         Returns the number of records discarded.
+
+        The caller's durable horizon can lag the chop point (records
+        may be chopped before their covering sync completes), so the
+        discard range starts at whichever is higher: indexes below
+        ``chopped_below`` were already discarded by the chop and must
+        not be double-counted as crash losses.
         """
         dropped = 0
         backend = self._volume._backend
-        for index in range(durable_next_index, self.next_index):
+        start = max(durable_next_index, self.chopped_below)
+        for index in range(start, self.next_index):
             if isinstance(backend, MemoryBackend):
                 backend._records.pop((self.stream_id, index), None)
             dropped += 1
@@ -261,6 +280,9 @@ class LogVolume:
         self._backend = backend if backend is not None else MemoryBackend()
         self._streams: Dict[str, LogStream] = {}
         self._next_stream_id = 0
+        #: Broker whose crash voids un-synced appends (set by
+        #: ``Broker._own_storage``); tags this volume's crash points.
+        self.owner: Optional[str] = None
 
     @classmethod
     def in_memory(cls) -> "LogVolume":

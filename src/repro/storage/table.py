@@ -9,6 +9,7 @@ tables and commits them transactionally (Section 5.2).
 :class:`PersistentTable` provides the contract the protocol needs:
 
 * reads see the caller's own uncommitted writes (read-your-writes),
+  including batches whose covering disk sync is still in flight,
 * :meth:`commit` makes the current dirty set durable atomically — its
   ``on_durable`` callback fires once the backing
   :class:`~repro.storage.disk.SimDisk` sync covering it completes,
@@ -20,8 +21,9 @@ Sizes are estimated so the disk byte accounting stays meaningful.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
+from ..sim.crashpoints import HOOKS
 from .disk import SimDisk
 
 #: Rough per-row cost of a table write (key + value + index overhead).
@@ -37,8 +39,19 @@ class PersistentTable:
         self._committed: Dict[str, Any] = {}
         self._dirty: Dict[str, Any] = {}
         self._deleted: set = set()
+        #: Commit batches handed to the disk but not yet synced, oldest
+        #: first.  Part of the read overlay: a transaction the caller
+        #: committed must stay visible to its own reads while the sync
+        #: is in flight (read-your-writes), even though a crash in that
+        #: window would discard it.
+        self._inflight: List[Tuple[Dict[str, Any], set]] = []
         self.commits = 0
         self._commit_epoch = 0  # bumped on crash; stale syncs are ignored
+
+    @property
+    def owner(self) -> Optional[str]:
+        """The broker whose crash discards this table's volatile state."""
+        return self._disk.owner if self._disk is not None else None
 
     # ------------------------------------------------------------------
     # Read / write
@@ -52,6 +65,11 @@ class PersistentTable:
             return self._dirty[key]
         if key in self._deleted:
             return default
+        for batch, deleted in reversed(self._inflight):
+            if key in batch:
+                return batch[key]
+            if key in deleted:
+                return default
         return self._committed.get(key, default)
 
     def get_committed(self, key: str, default: Any = None) -> Any:
@@ -59,21 +77,37 @@ class PersistentTable:
 
         Protocol decisions that must remain valid across a crash — the
         release report, notably — must be based on this view, not on
-        the dirty overlay.
+        the dirty or in-flight overlays.
         """
         return self._committed.get(key, default)
 
     def delete(self, key: str) -> None:
         self._dirty.pop(key, None)
-        if key in self._committed:
+        if key in self._committed or any(
+            key in batch for batch, _deleted in self._inflight
+        ):
             self._deleted.add(key)
 
     def items(self) -> Iterator[Tuple[str, Any]]:
-        """Iterate the table as the caller currently sees it."""
-        for key, value in self._committed.items():
-            if key not in self._dirty and key not in self._deleted:
-                yield key, value
-        yield from self._dirty.items()
+        """Iterate the table as the caller currently sees it.
+
+        Ordering is committed-insertion order, then each in-flight
+        batch in commit order, then dirty-insertion order — with a key
+        re-yielding at its *newest* layer, mirroring :meth:`get`.
+        """
+        view: Dict[str, Any] = dict(self._committed)
+        for batch, deleted in self._inflight:
+            for key in batch:
+                view.pop(key, None)
+            view.update(batch)
+            for key in deleted:
+                view.pop(key, None)
+        for key in self._dirty:
+            view.pop(key, None)
+        view.update(self._dirty)
+        for key in self._deleted:
+            view.pop(key, None)
+        return iter(view.items())
 
     def committed_items(self) -> Iterator[Tuple[str, Any]]:
         """Iterate only durably committed rows (what a crash preserves)."""
@@ -101,19 +135,32 @@ class PersistentTable:
                 else:
                     self._disk.write(0, on_durable)
             return 0
+        if HOOKS.enabled:
+            # Crash here: the transaction is still only dirty state.
+            HOOKS.fire("table.commit.pre", self.owner)
         batch = dict(self._dirty)
         deleted = set(self._deleted)
         self._dirty = {}
         self._deleted = set()
+        entry = (batch, deleted)
+        self._inflight.append(entry)
         epoch = self._commit_epoch
 
         def apply() -> None:
             if epoch != self._commit_epoch:
                 return  # crashed before this sync completed
+            if HOOKS.enabled:
+                # Crash here: the sync completed but the transaction is
+                # not yet reflected in the committed view.
+                HOOKS.fire("table.apply.pre", self.owner)
+            self._inflight.remove(entry)
             self._committed.update(batch)
             for key in deleted:
                 self._committed.pop(key, None)
             self.commits += 1
+            if HOOKS.enabled:
+                # Crash here: committed, but the caller was never told.
+                HOOKS.fire("table.apply.post", self.owner)
             if on_durable is not None:
                 on_durable()
 
@@ -121,6 +168,8 @@ class PersistentTable:
             apply()
         else:
             self._disk.write(rows * ROW_BYTES, apply)
+        if HOOKS.enabled:
+            HOOKS.fire("table.commit.post", self.owner)
         return rows
 
     # ------------------------------------------------------------------
@@ -131,6 +180,7 @@ class PersistentTable:
         self._commit_epoch += 1
         self._dirty = {}
         self._deleted = set()
+        self._inflight = []
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<PersistentTable {self.name} rows={len(self._committed)} dirty={self.dirty_row_count}>"

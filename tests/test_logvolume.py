@@ -205,3 +205,42 @@ def test_file_volume_roundtrip_property(tmp_path_factory, records):
         for i, payload in enumerate(expected[sid]):
             assert stream.read(i) == payload
     vol2.close()
+
+
+class TestCrashTruncateClamp:
+    """Regression: crash losses must not double-count chopped records.
+
+    The durable horizon can lag the chop point (records may be chopped
+    before their covering sync completes).  crash_truncate used to count
+    every index from the stale horizon up, including records the chop
+    had already discarded — skewing writes_lost_in_crash accounting.
+    """
+
+    def test_dropped_excludes_already_chopped_records(self):
+        stream = LogVolume.in_memory().stream("s")
+        for i in range(10):
+            stream.append(bytes([i]))
+        stream.chop(5)  # indexes 0..5 discarded by the release
+        # A crash whose durable horizon (3) trails the chop point: only
+        # the four live records (6..9) are crash losses.
+        dropped = stream.crash_truncate(durable_next_index=3)
+        assert dropped == 4
+        assert stream.next_index == 6
+
+    def test_truncate_above_chop_counts_exact_tail(self):
+        stream = LogVolume.in_memory().stream("s")
+        for i in range(10):
+            stream.append(bytes([i]))
+        stream.chop(5)
+        dropped = stream.crash_truncate(durable_next_index=8)
+        assert dropped == 2  # records 8 and 9
+        assert stream.next_index == 8
+        assert stream.read(6) == bytes([6])
+        assert stream.read(7) == bytes([7])
+
+    def test_fully_durable_stream_loses_nothing(self):
+        stream = LogVolume.in_memory().stream("s")
+        for i in range(4):
+            stream.append(bytes([i]))
+        assert stream.crash_truncate(durable_next_index=4) == 0
+        assert stream.next_index == 4

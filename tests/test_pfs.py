@@ -227,3 +227,58 @@ def test_read_matches_naive_model(writes, sub, after, buffer_qs):
     for ts, subs in model:
         if after < ts <= result.covered_to and sub in subs:
             assert ts in result.q_ticks
+
+
+class TestReadBatchChopRace:
+    """Regression: a backpointer walk crossing a concurrent chop must
+    degrade to a truncated batch, not crash the catchup stream.
+
+    The torn window between logstream.chop.pre and .post (or a recovery
+    that rebuilt the index maps mid-release) can leave a live lastIndex
+    entry whose chain walks into discarded records.  Everything at or
+    below the break was released, so the read truncates: known_from
+    rises to the oldest tick the walk can still vouch for and the SHB
+    nacks the unknown span (the pubend answers L — an honest gap).
+    """
+
+    def test_walk_into_discarded_records_truncates(self):
+        pfs = make_pfs()
+        for t in range(1, 11):
+            pfs.write("P1", t, [0])
+        state = pfs._pubends["P1"]
+        # Race window: backend records discarded, stream chop bound not
+        # yet advanced (a crash between chop.pre and chop.post).
+        state.stream._volume._backend.chop(state.stream.stream_id, 4)
+
+        result = pfs.read_batch("P1", 0, after=0)
+        assert pfs.chain_breaks == 1
+        assert result.known_from == 6
+        assert result.q_ticks == [6, 7, 8, 9, 10]
+        assert result.covered_to == 10
+
+    def test_stale_index_entry_without_subscriber_not_vouched(self):
+        pfs = make_pfs()
+        pfs.write("P1", 5, [1])
+        state = pfs._pubends["P1"]
+        state.last_index[0] = 0  # stale entry from an index-rebuild race
+
+        result = pfs.read_batch("P1", 0, after=0)
+        assert pfs.chain_breaks == 1
+        # Tick 5 is sub 1's record: it must NOT be reported as a Q for
+        # sub 0, and the batch vouches for nothing below the break.
+        assert result.q_ticks == []
+        assert result.known_from == 6
+
+    def test_chain_break_mid_walk_keeps_upper_ticks(self):
+        pfs = make_pfs()
+        pfs.write("P1", 1, [0, 1])
+        pfs.write("P1", 2, [1])
+        pfs.write("P1", 3, [0, 1])
+        state = pfs._pubends["P1"]
+        # Sub 0's chain is 3 -> 1; discard record index 0 (tick 1) only.
+        state.stream._volume._backend.chop(state.stream.stream_id, 0)
+
+        result = pfs.read_batch("P1", 0, after=0)
+        assert pfs.chain_breaks == 1
+        assert result.q_ticks == [3]
+        assert result.known_from == 3

@@ -1,13 +1,19 @@
 """Property tests for crash recovery and accumulation-order independence.
 
-Two invariants that underpin everything else:
+Three invariants that underpin everything else:
 
-1. **Log-volume prefix durability**: truncate the backing file at *any*
-   byte (a torn write at crash) — recovery yields a valid prefix of the
-   appended records, never corruption, never resurrection of chopped
-   data.
+1. **Append/chop round trip on every backend**: whatever a stream
+   appended (minus what it chopped) reads back identically after the
+   volume is reopened — parametrized over the in-memory backend and the
+   real-file backend at a tmp path, so tier-1 tests exercise the actual
+   frame/CRC recovery scan, not only the simulation store.
 
-2. **Knowledge accumulation is order-independent**: however a pubend's
+2. **Log-volume prefix durability** (file backend): truncate the
+   backing file at *any* byte (a torn write at crash) — recovery yields
+   a valid prefix of the appended records, never corruption, never
+   resurrection of chopped data.
+
+3. **Knowledge accumulation is order-independent**: however a pubend's
    knowledge history is sliced into updates and (per-tick-monotonically)
    reordered, a consolidated stream consumes exactly the same sequence
    of runs.
@@ -22,10 +28,76 @@ from repro.core.knowledge import KnowledgeStream
 from repro.core.messages import KnowledgeUpdate
 from repro.core.ticks import Tick
 from repro.storage.logvolume import LogVolume
+from repro.util.errors import RecordNotFoundError
+
+BACKENDS = ["memory", "file"]
+
+
+class _VolumeHarness:
+    """Open/reopen a LogVolume on either backend.
+
+    The file backend genuinely closes and recovers from the on-disk
+    frames; the memory backend has no medium to recover from (the
+    simulation tracks its durability externally via SimDisk), so
+    ``reopen`` hands back the same live volume.  Either way the
+    append/chop/read contract must be identical.
+    """
+
+    def __init__(self, backend: str, tmp_path_factory) -> None:
+        self.backend = backend
+        if backend == "file":
+            self.path = str(tmp_path_factory.mktemp("lv") / "vol.log")
+            self.volume = LogVolume.at_path(self.path, fsync=False)
+        else:
+            self.volume = LogVolume.in_memory()
+
+    def reopen(self) -> LogVolume:
+        if self.backend == "file":
+            self.volume.flush()
+            self.volume.close()
+            self.volume = LogVolume.at_path(self.path, fsync=False)
+        return self.volume
+
+    def close(self) -> None:
+        if self.backend == "file":
+            self.volume.close()
 
 
 # ---------------------------------------------------------------------------
-# 1. Log volume: arbitrary crash points
+# 1. Append/chop round trip, both backends
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(
+    records=st.lists(st.binary(min_size=0, max_size=30), min_size=1, max_size=20),
+    chop_at=st.integers(-1, 18),
+)
+@settings(max_examples=60, deadline=None)
+def test_append_chop_roundtrip_survives_reopen(
+    tmp_path_factory, backend, records, chop_at
+):
+    chop_at = min(chop_at, len(records) - 2)
+    harness = _VolumeHarness(backend, tmp_path_factory)
+    stream = harness.volume.stream("s")
+    for record in records:
+        stream.append(record)
+    if chop_at >= 0:
+        stream.chop(chop_at)
+
+    rstream = harness.reopen().stream("s")
+    assert rstream.next_index == len(records)
+    assert rstream.chopped_below == chop_at + 1
+    for i in range(chop_at + 1):
+        with pytest.raises(RecordNotFoundError):
+            rstream.read(i)
+    for i in range(chop_at + 1, len(records)):
+        assert rstream.read(i) == records[i]
+    # The stream is writable again from the recovered point.
+    assert rstream.append(b"post-reopen") == len(records)
+    harness.close()
+
+
+# ---------------------------------------------------------------------------
+# 2. File backend: arbitrary torn-tail crash points
 # ---------------------------------------------------------------------------
 @given(
     records=st.lists(st.binary(min_size=0, max_size=30), min_size=1, max_size=20),
@@ -61,36 +133,34 @@ def test_logvolume_recovers_valid_prefix_after_torn_write(
     recovered.close()
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @given(
     records=st.lists(st.binary(min_size=1, max_size=20), min_size=2, max_size=15),
     chop_at=st.integers(0, 13),
 )
 @settings(max_examples=60, deadline=None)
-def test_logvolume_chop_never_resurrected(tmp_path_factory, records, chop_at):
+def test_logvolume_chop_never_resurrected(
+    tmp_path_factory, backend, records, chop_at
+):
     chop_at = min(chop_at, len(records) - 2)
-    path = str(tmp_path_factory.mktemp("lv") / "vol.log")
-    volume = LogVolume.at_path(path, fsync=False)
-    stream = volume.stream("s")
+    harness = _VolumeHarness(backend, tmp_path_factory)
+    stream = harness.volume.stream("s")
     for record in records:
         stream.append(record)
     stream.chop(chop_at)
-    volume.flush()
-    volume.close()
 
-    recovered = LogVolume.at_path(path, fsync=False)
-    rstream = recovered.stream("s")
+    rstream = harness.reopen().stream("s")
     assert rstream.chopped_below == chop_at + 1
-    from repro.util.errors import RecordNotFoundError
     for i in range(chop_at + 1):
         with pytest.raises(RecordNotFoundError):
             rstream.read(i)
     for i in range(chop_at + 1, len(records)):
         assert rstream.read(i) == records[i]
-    recovered.close()
+    harness.close()
 
 
 # ---------------------------------------------------------------------------
-# 2. Knowledge accumulation: slicing/order independence
+# 3. Knowledge accumulation: slicing/order independence
 # ---------------------------------------------------------------------------
 def _history(draw_data):
     """Build a ground-truth tick assignment over [1, n]."""

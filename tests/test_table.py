@@ -123,3 +123,80 @@ class TestWithDisk:
         t.crash_reset()
         assert t.get("b") is None
         assert t.get("a") == 1
+
+
+class TestReadYourWritesInFlight:
+    """Regression: a committed-but-unsynced batch must stay readable.
+
+    commit() moves the dirty batch out of the dirty overlay immediately,
+    but it lands in the committed view only when the covering disk sync
+    completes.  get() in that window used to fall through to stale
+    committed data — a transaction the caller had already committed
+    vanished from its own reads.
+    """
+
+    @pytest.fixture
+    def env(self):
+        sim = Scheduler()
+        disk = SimDisk(sim, "d", sync_interval_ms=10, sync_duration_ms=20)
+        return sim, disk, PersistentTable("t", disk)
+
+    def test_get_sees_inflight_commit_before_sync(self, env):
+        sim, disk, t = env
+        t.put("k", 1)
+        t.commit()
+        # The sync has not completed: the committed view is still empty,
+        # but the caller's own transaction must remain visible.
+        assert t.get_committed("k") is None
+        assert t.get("k") == 1
+        sim.run()
+        assert t.get_committed("k") == 1
+
+    def test_newer_inflight_batch_wins(self, env):
+        sim, disk, t = env
+        t.put("k", 1)
+        t.commit()
+        t.put("k", 2)
+        t.commit()
+        assert t.get("k") == 2
+
+    def test_dirty_overlay_wins_over_inflight(self, env):
+        sim, disk, t = env
+        t.put("k", 1)
+        t.commit()
+        t.put("k", 3)  # dirty again, not yet committed
+        assert t.get("k") == 3
+
+    def test_inflight_delete_masks_committed_value(self, env):
+        sim, disk, t = env
+        t.put("k", 1)
+        t.commit()
+        sim.run_until(100.0)
+        assert t.get_committed("k") == 1
+        t.delete("k")
+        t.commit()
+        # Deletion is in flight: reads must already see it gone.
+        assert t.get("k") is None
+        assert t.get_committed("k") == 1
+        sim.run()
+        assert t.get_committed("k") is None
+
+    def test_items_include_inflight_batches(self, env):
+        sim, disk, t = env
+        t.put("a", 1)
+        t.commit()
+        sim.run_until(100.0)
+        t.put("b", 2)
+        t.commit()
+        t.put("c", 3)
+        assert dict(t.items()) == {"a": 1, "b": 2, "c": 3}
+
+    def test_crash_removes_inflight_from_reads(self, env):
+        sim, disk, t = env
+        t.put("k", 1)
+        t.commit()
+        disk.crash_reset()
+        t.crash_reset()
+        sim.run()
+        # The in-flight batch died with the crash; reads must agree.
+        assert t.get("k") is None
