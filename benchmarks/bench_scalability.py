@@ -12,6 +12,8 @@ churn each subscriber periodically disconnects (time-compressed by
 default, same down/period ratio as the paper's 5s/300s).
 """
 
+import time
+
 import pytest
 from conftest import full_scale, write_result
 
@@ -25,6 +27,33 @@ PAPER_NO_CHURN = {1: 20_000, 2: 40_000, 4: 79_200}
 PAPER_CHURN = {1: 17_600, 2: 35_000, 4: 69_600}
 
 _results = {}
+
+
+def measure_scalability_metrics() -> dict:
+    """End-to-end simulator throughput, gated by check_baseline.py.
+
+    Runs the 1-SHB no-churn scenario at smoke duration and reports
+    delivered *simulated* events per *wall-clock* second — the "how
+    fast can the host push the whole pipeline" figure that the
+    batch-matching and kernel-overhead work moves.  The simulated-side
+    numbers (efficiency) are deterministic; the wall-clock rate swings
+    with host load, so check_baseline holds it loosely.
+    """
+    duration_ms, warmup_ms = 10_000.0, 2_000.0
+    start = time.perf_counter()
+    result = run_scalability(
+        n_shbs=1,
+        subs_per_shb=NO_CHURN_SUBS,
+        churn=False,
+        duration_ms=duration_ms,
+        warmup_ms=warmup_ms,
+    )
+    wall_s = time.perf_counter() - start
+    delivered = result.achieved_rate * (duration_ms - warmup_ms) / 1000.0
+    return {
+        "scalability_sim_events_per_wall_s": round(delivered / wall_s, 0),
+        "scalability_efficiency_smoke": round(result.efficiency, 4),
+    }
 
 
 def _run(n_shbs, churn, single_broker=False):

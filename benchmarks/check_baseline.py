@@ -26,6 +26,7 @@ from repro.sim.experiments import run_message_amplification
 
 from bench_latency import measure_latency_metrics
 from bench_matching import measure_baseline_metrics as measure_matching_metrics
+from bench_scalability import measure_scalability_metrics
 
 BASELINE_PATH = pathlib.Path(__file__).parent / "baseline.json"
 TOLERANCE = 0.20
@@ -51,6 +52,16 @@ HIGHER_IS_WORSE = {
     "matcher_speedup_multi_10000": False,
     "matcher_eval_reduction_fanout": False,
     "matcher_active_signatures_fanout": True,
+    # Batch-oriented matching (the ≥3x tentpole gate lives in
+    # bench_matching.test_batch_matching_vs_single_event; these hold
+    # the measured level so a silent de-amortization regresses CI):
+    "matcher_batch_eps_multi_10000": False,
+    "matcher_batch_speedup_multi_10000": False,
+    # End-to-end simulator throughput (bench_scalability): delivered
+    # simulated events per wall-clock second, plus the deterministic
+    # delivery efficiency of the same smoke run.
+    "scalability_sim_events_per_wall_s": False,
+    "scalability_efficiency_smoke": False,
     # Traced latency histograms (benchmarks/bench_latency.py): p50/p99
     # publish→deliver and the reconnect catchup lag, simulated time, so
     # deterministic; sample counts gate the tracer itself (a sampling
@@ -70,6 +81,8 @@ HIGHER_IS_WORSE = {
 #: order-of-magnitude collapses, not noise.
 TOLERANCES = {name: 0.60 for name in HIGHER_IS_WORSE if "_eps_" in name}
 TOLERANCES.update({name: 0.50 for name in HIGHER_IS_WORSE if "_speedup_" in name})
+TOLERANCES["scalability_sim_events_per_wall_s"] = 0.60  # wall-clock
+TOLERANCES["scalability_efficiency_smoke"] = 0.02       # deterministic
 
 
 def measure() -> dict:
@@ -92,6 +105,7 @@ def measure() -> dict:
     }
     out.update(measure_matching_metrics())
     out.update(measure_latency_metrics())
+    out.update(measure_scalability_metrics())
     return out
 
 

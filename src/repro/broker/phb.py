@@ -216,8 +216,12 @@ class PublisherHostingBroker(Broker):
             # to consult the aggregate per event.
             out.d_events = list(update.d_events)
             return out.coalesce()
+        # Classify the whole coalesced tick-range in one aggregate pass;
+        # keep_below events skip classification entirely.
+        pending = [e for e in update.d_events if e.timestamp >= keep_below]
+        flags = iter(engine.matches_any_batch([e.attributes for e in pending]))
         for event in update.d_events:
-            if event.timestamp < keep_below or engine.matches_any(event.attributes):
+            if event.timestamp < keep_below or next(flags):
                 out.d_events.append(event)
             else:
                 out.s_ranges.append((event.timestamp, event.timestamp))

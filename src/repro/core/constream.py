@@ -193,11 +193,13 @@ class ConsolidatedStream:
 
     def _pump_once(self) -> None:
         runs = self.knowledge.advance()
-        # Batched fan-out: collect each subscriber's events across the
-        # whole advance, then hand them over in one pass per subscriber.
-        batches: Optional[Dict[str, List[EventMessage]]] = (
-            {} if self.deliver_batch is not None else None
-        )
+        # Pass 1 — classify: collect the live D ticks of the whole
+        # advance and batch-match them in one engine call.  Matching is
+        # pure CPU (no scheduling, no delivery), so hoisting it out of
+        # the delivery loop cannot reorder any externally visible
+        # action; it only lets the engine amortize index probes and
+        # counting across the coalesced tick-range.
+        live: List = []
         for run in runs:
             if run.kind is Tick.L:
                 raise ProtocolError(
@@ -208,14 +210,25 @@ class ConsolidatedStream:
                 continue
             event = run.event
             assert event is not None
-            t = run.start
             if event.expired(self.scheduler.now):
                 # JMS-style publisher expiration: an expired event is
                 # delivered to nobody and needs no PFS record (catchup
                 # reads correctly see the tick as silence).
                 self.expired_skipped += 1
                 continue
-            matched = self.engine.match_at(event.event_id, event.attributes)
+            live.append((run.start, event))
+        if not live:
+            self._recompute_latest_delivered()
+            return
+        match_sets = self.engine.match_at_batch(
+            [(event.event_id, event.attributes) for _t, event in live]
+        )
+        # Pass 2 — deliver: per tick in order, exactly the pre-batch
+        # sequence of PFS writes and subscriber handoffs.
+        batches: Optional[Dict[str, List[EventMessage]]] = (
+            {} if self.deliver_batch is not None else None
+        )
+        for (t, event), matched in zip(live, match_sets):
             if self._tracer.tracing:
                 self._tracer.on_match(event.event_id, self.pubend)
             nums = self._nums_for(matched)

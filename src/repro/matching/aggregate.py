@@ -31,7 +31,7 @@ residual-free coverers ending in an active one), so the aggregate is an
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Hashable, Mapping, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from .counting import CountingMatcher
 from .predicates import Atom, Predicate
@@ -78,6 +78,16 @@ class SubscriptionAggregate:
 
     def matches_any(self, attributes: Mapping[str, Any]) -> bool:
         return self.matcher.matches_any(attributes)
+
+    def matches_any_batch(self, batch: Sequence[Mapping[str, Any]]) -> List[bool]:
+        """Per-event :meth:`matches_any` answers for a whole batch.
+
+        PHB/intermediate child filtering classifies a coalesced
+        tick-range in one pass; the antichain matcher amortizes index
+        probes and candidate plans across the batch
+        (:meth:`~repro.matching.counting.CountingMatcher.matches_any_batch`).
+        """
+        return self.matcher.matches_any_batch(batch)
 
     # -- updates -------------------------------------------------------
     def add(self, sub_id: str, atoms: Tuple[Atom, ...], residual: Optional[Predicate]) -> None:

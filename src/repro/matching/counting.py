@@ -31,12 +31,33 @@ count for selective workloads.
 Keys are opaque hashables: the :class:`~repro.matching.engine
 .MatchingEngine` counts subscription ids, the per-link aggregate counts
 deduplicated conjunction signatures.
+
+Batch orientation (:meth:`CountingMatcher.match_batch`,
+:meth:`CountingMatcher.matches_any_batch`): the broker hot path hands
+the matcher whole coalesced tick-ranges (a constream pump, a filtered
+``KnowledgeUpdate``), and real workloads draw attribute values from
+small domains, so consecutive events repeat both index probes and
+entire satisfied-atom signatures.  Two caches — both invalidated
+wholesale on any registration change — amortize that repetition:
+
+* the **probe cache** maps ``(attr, value)`` to a token plus the tuple
+  of satisfied interned atoms, so a repeated value costs one dict hit
+  instead of a hash probe plus two bisects;
+* the **signature memo** maps the event's token tuple (an interned
+  stand-in for its satisfied predicate-signature set, in collection
+  order) to the ordered candidate list that survives counting and
+  subset verification, so the whole counting loop runs once per
+  *distinct* signature per registration epoch, not once per event.
+
+Residuals still run per event (they read arbitrary attributes), and
+per-event output order is byte-identical to :meth:`match` /
+:meth:`matches_any` — batching is a pure performance transform.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Any, Dict, FrozenSet, Hashable, List, Mapping, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from .predicates import Atom, CmpAtom, EqAtom, Predicate
 
@@ -45,6 +66,12 @@ from .predicates import Atom, CmpAtom, EqAtom, Predicate
 #: ``(value, 0.5)``; for upper bounds, the suffix above it.
 _LO_FLAG = {">=": 0, ">": 1}
 _HI_FLAG = {"<": 0, "<=": 1}
+
+#: Bound on each batch-amortization cache (probe cache, signature
+#: memo) before it is cleared wholesale.  Real workloads draw values
+#: and signatures from small domains, so the bound exists only to keep
+#: a pathological high-cardinality stream from hoarding memory.
+_BATCH_CACHE_LIMIT = 4096
 
 
 class _BoundList:
@@ -196,11 +223,30 @@ class CountingMatcher:
         self._attrs: Dict[str, _AttrIndex] = {}
         # zero-atom keys: wildcards (no residual) and the scan bucket
         self._always: Dict[Hashable, None] = {}
+        # batch-amortization caches, invalidated on any add/remove:
+        # (attr, type, value) -> (token, satisfied interned entries),
+        # and token-tuple signature -> the ordered candidate plan
+        # surviving counting + subset verification.  Tokens are small
+        # ints drawn from a monotonic counter (never reset, so a token
+        # can never rebind to different entries even across cache
+        # clears); a signature of tokens is therefore equivalent to the
+        # full satisfied-atom id sequence but costs one tuple of a few
+        # ints per event instead of one per satisfied atom.
+        self._probe_cache: Dict[
+            Tuple[Any, ...], Tuple[int, Tuple["_AtomEntry", ...]]
+        ] = {}
+        self._probe_token = 0
+        self._sig_memo: Dict[
+            Tuple[int, ...], Tuple[Tuple[Hashable, Optional[Predicate]], ...]
+        ] = {}
         # instrumentation
         self.atoms_examined = 0
         self.residual_evals = 0
         self.candidates_seen = 0
         self.events_processed = 0
+        self.batch_events = 0
+        self.probe_cache_hits = 0
+        self.sig_memo_hits = 0
 
     # -- registry ------------------------------------------------------
     def _intern(self, atom: Atom) -> _AtomEntry:
@@ -219,6 +265,8 @@ class CountingMatcher:
     def add(self, key: Hashable, atoms: Tuple[Atom, ...], residual: Optional[Predicate]) -> None:
         if key in self._needs:
             self.remove(key)
+        self._probe_cache.clear()
+        self._sig_memo.clear()
         atoms = tuple(dict.fromkeys(atoms))  # duplicates would skew counts
         self._atoms_of[key] = atoms
         if residual is not None:
@@ -252,6 +300,8 @@ class CountingMatcher:
     def remove(self, key: Hashable) -> None:
         if key not in self._needs:
             return
+        self._probe_cache.clear()
+        self._sig_memo.clear()
         del self._needs[key]
         atoms = self._atoms_of.pop(key)
         self._verify.pop(key, None)
@@ -379,3 +429,150 @@ class CountingMatcher:
                     return True
         self.candidates_seen += touched
         return False
+
+    # -- batch matching ------------------------------------------------
+    def _probe(
+        self, attributes: Mapping[str, Any]
+    ) -> Tuple[Tuple[int, ...], List[Tuple["_AtomEntry", ...]]]:
+        """One event's satisfied-atom signature and per-attribute hits.
+
+        The probe cache key includes the value's type so ``==``-equal
+        values of different types (``1`` / ``1.0`` / ``True``) can
+        never share an entry — atom satisfaction must be recomputed,
+        not assumed equal across types.  An unhashable value bypasses
+        the cache and draws a fresh token, so its event's signature
+        never falsely aliases a cached one.
+        """
+        probe = self._probe_cache
+        sig_parts: List[int] = []
+        hit_parts: List[Tuple[_AtomEntry, ...]] = []
+        for attr, value in attributes.items():
+            idx = self._attrs.get(attr)
+            if idx is None:
+                continue
+            try:
+                pkey: Optional[Tuple[Any, ...]] = (attr, value.__class__, value)
+                ent = probe.get(pkey)
+            except TypeError:
+                pkey = None
+                ent = None
+            if ent is None:
+                atoms: List[Atom] = []
+                self.atoms_examined += idx.collect(value, atoms)
+                entries = self._entries
+                token = self._probe_token
+                self._probe_token += 1
+                ent = (token, tuple(entries[atom] for atom in atoms))
+                if pkey is not None:
+                    if len(probe) >= _BATCH_CACHE_LIMIT:
+                        probe.clear()
+                    probe[pkey] = ent
+            else:
+                self.probe_cache_hits += 1
+            sig_parts.append(ent[0])
+            hit_parts.append(ent[1])
+        return tuple(sig_parts), hit_parts
+
+    def _candidates_for(
+        self,
+        sig: Tuple[int, ...],
+        hit_parts: List[Tuple["_AtomEntry", ...]],
+    ) -> Tuple[Tuple[Hashable, Optional[Predicate]], ...]:
+        """The ordered candidate plan for one satisfied-atom signature.
+
+        Runs the counting loop of :meth:`match` — count through the
+        access atoms, verify the rest by interned-id subset — but
+        records ``(key, residual)`` pairs instead of evaluating
+        residuals, so the plan depends only on the signature and can be
+        memoized per registration epoch.  Emission order is exactly
+        :meth:`match`'s counting order.
+        """
+        memo = self._sig_memo
+        plan = memo.get(sig)
+        if plan is not None:
+            self.sig_memo_hits += 1
+            return plan
+        sat = [entry for part in hit_parts for entry in part]
+        sat_ids = {entry.id for entry in sat}
+        counts: Dict[Hashable, int] = {}
+        needs = self._needs
+        verify = self._verify
+        residuals = self._residuals
+        issuperset = sat_ids.issuperset
+        out: List[Tuple[Hashable, Optional[Predicate]]] = []
+        touched = 0
+        for entry in sat:
+            touched += len(entry.keys)
+            for key in entry.keys:
+                need = needs[key]
+                if need != 1:
+                    n = counts.get(key, 0) + 1
+                    counts[key] = n
+                    if n != need:
+                        continue
+                pending = verify.get(key)
+                if pending is not None and not issuperset(pending):
+                    continue
+                out.append((key, residuals.get(key)))
+        self.candidates_seen += touched
+        plan = tuple(out)
+        if len(memo) >= _BATCH_CACHE_LIMIT:
+            memo.clear()
+        memo[sig] = plan
+        return plan
+
+    def match_batch(
+        self, batch: Sequence[Mapping[str, Any]]
+    ) -> List[List[Hashable]]:
+        """Per-event :meth:`match` results for a whole batch.
+
+        Byte-identical to calling :meth:`match` once per event, in
+        order — only the work is amortized: index probes through the
+        probe cache, the counting loop through the signature memo.
+        Residuals are still evaluated per event (they read arbitrary
+        attribute values the signature does not capture).
+        """
+        results: List[List[Hashable]] = []
+        always = self._always
+        for attributes in batch:
+            self.events_processed += 1
+            self.batch_events += 1
+            out: List[Hashable] = []
+            for key in always:
+                if self._residual_ok(key, attributes):
+                    out.append(key)
+            sig, hit_parts = self._probe(attributes)
+            for key, residual in self._candidates_for(sig, hit_parts):
+                if residual is None:
+                    out.append(key)
+                else:
+                    self.residual_evals += 1
+                    if residual.matches(attributes):
+                        out.append(key)
+            results.append(out)
+        return results
+
+    def matches_any_batch(self, batch: Sequence[Mapping[str, Any]]) -> List[bool]:
+        """Per-event :meth:`matches_any` answers for a whole batch."""
+        results: List[bool] = []
+        always = self._always
+        for attributes in batch:
+            self.events_processed += 1
+            self.batch_events += 1
+            hit = False
+            for key in always:
+                if self._residual_ok(key, attributes):
+                    hit = True
+                    break
+            if not hit:
+                sig, hit_parts = self._probe(attributes)
+                for key, residual in self._candidates_for(sig, hit_parts):
+                    if residual is None:
+                        hit = True
+                        break
+                    self.residual_evals += 1
+                    if residual.matches(attributes):
+                        hit = True
+                        break
+            results.append(hit)
+        return results

@@ -27,7 +27,7 @@ per-link aggregation for free.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from .aggregate import SubscriptionAggregate
 from .counting import CountingMatcher
@@ -56,6 +56,14 @@ def decompose_safe(predicate: Predicate) -> Tuple[Tuple[Atom, ...], Optional[Pre
 
 class MatchingEngine:
     """A mutable registry of ``subscription_id -> Predicate``."""
+
+    #: Class-level toggle for the batch-amortized matching paths.  When
+    #: False every ``*_batch`` entry point degrades to a per-event loop
+    #: over the single-event methods; results must be byte-identical
+    #: either way (the determinism suite pins this).  Exists so tests
+    #: can prove batching is a pure performance transform — production
+    #: code never turns it off.
+    batch_matching = True
 
     def __init__(self) -> None:
         self._filters: Dict[str, Predicate] = {}
@@ -168,6 +176,56 @@ class MatchingEngine:
         self._match_cache[event_id] = (attributes, result)
         return result
 
+    # ------------------------------------------------------------------
+    # Batch matching — pure performance transforms over the above
+    # ------------------------------------------------------------------
+    def match_batch(self, batch: Sequence[Mapping[str, Any]]) -> List[Set[str]]:
+        """Per-event :meth:`match` results for a whole batch, in order."""
+        if not self.batch_matching:
+            return [self.match(attributes) for attributes in batch]
+        return [set(found) for found in self._counting.match_batch(batch)]
+
+    def matches_any_batch(self, batch: Sequence[Mapping[str, Any]]) -> List[bool]:
+        """Per-event :meth:`matches_any` answers for a whole batch."""
+        if not self.batch_matching:
+            return [self.matches_any(attributes) for attributes in batch]
+        return self._aggregate.matches_any_batch(batch)
+
+    def match_at_batch(
+        self, items: Sequence[Tuple[str, Mapping[str, Any]]]
+    ) -> List[FrozenSet[str]]:
+        """:meth:`match_at` over ``(event_id, attributes)`` pairs.
+
+        Cache hits are served first, then the misses are batch-matched
+        and inserted in item order with :meth:`match_at`'s exact
+        evict-then-store sequence, so the resulting cache contents are
+        the same as the per-event loop's.
+        """
+        if not self.batch_matching:
+            return [self.match_at(eid, attrs) for eid, attrs in items]
+        results: List[Optional[FrozenSet[str]]] = [None] * len(items)
+        cache = self._match_cache
+        miss_indices: List[int] = []
+        miss_attrs: List[Mapping[str, Any]] = []
+        for i, (event_id, attributes) in enumerate(items):
+            cached = cache.get(event_id)
+            if cached is not None:
+                self.cache_hits += 1
+                results[i] = cached[1]
+            else:
+                self.cache_misses += 1
+                miss_indices.append(i)
+                miss_attrs.append(attributes)
+        if miss_indices:
+            for i, found in zip(miss_indices, self._counting.match_batch(miss_attrs)):
+                while len(cache) >= MATCH_CACHE_LIMIT:
+                    cache.popitem(last=False)
+                event_id, attributes = items[i]
+                result = frozenset(found)
+                cache[event_id] = (attributes, result)
+                results[i] = result
+        return results  # type: ignore[return-value]
+
     def matches_subscription(self, sub_id: str, attributes: Mapping[str, Any]) -> bool:
         """Evaluate one specific subscription (catchup-stream filtering)."""
         predicate = self._filters.get(sub_id)
@@ -194,6 +252,21 @@ class MatchingEngine:
     @property
     def events_processed(self) -> int:
         return self._counting.events_processed
+
+    @property
+    def batch_events(self) -> int:
+        """Events matched through the batch-amortized paths."""
+        return self._counting.batch_events
+
+    @property
+    def probe_cache_hits(self) -> int:
+        """Attribute probes answered from the batch probe cache."""
+        return self._counting.probe_cache_hits
+
+    @property
+    def sig_memo_hits(self) -> int:
+        """Counting loops skipped via the signature memo."""
+        return self._counting.sig_memo_hits
 
     @property
     def atom_count(self) -> int:

@@ -205,12 +205,13 @@ class LinkEnd:
             arrival = max(scheduler.now + self._link.latency_ms, self._last_arrival)
             self._last_arrival = arrival
             self._record_transmission(1)
-            scheduler.at(arrival, self._arrive, msg)
+            scheduler.post(arrival, self._arrive, msg)
             return
         self._buffer.append(msg)
         if not self._flush_pending:
             self._flush_pending = True
-            self._link.scheduler.after(self._link.batch_window_ms, self._flush)
+            scheduler = self._link.scheduler
+            scheduler.post(scheduler.now + self._link.batch_window_ms, self._flush)
 
     def _flush(self) -> None:
         self._flush_pending = False
@@ -228,7 +229,7 @@ class LinkEnd:
         arrival = max(scheduler.now + self._link.latency_ms, self._last_arrival)
         self._last_arrival = arrival
         self._record_transmission(len(batch))
-        scheduler.at(arrival, self._arrive_batch, batch)
+        scheduler.post(arrival, self._arrive_batch, batch)
 
     def _transmit_faulty(self, payload: Any, is_batch: bool) -> None:
         """The fault-injected transmission path (one TCP-segment analog).
@@ -270,7 +271,7 @@ class LinkEnd:
                 arrival = max(scheduler.now + self._link.latency_ms, self._last_arrival)
                 self._last_arrival = arrival
             self._record_transmission(n)
-            scheduler.at(arrival, arrive, wire)
+            scheduler.post(arrival, arrive, wire)
 
     def _discard_buffer(self) -> None:
         """Drop (and count) messages buffered on a torn-down connection.

@@ -25,7 +25,12 @@ from typing import Callable, Deque, List, Optional, Tuple
 
 from ..util.errors import NodeDownError
 from ..util.rate import BusyTracker
-from .simtime import EventHandle, Scheduler
+from .simtime import Scheduler
+
+#: Marker held in ``_in_service`` while a job's completion is posted.
+#: Completions are fire-and-forget (:meth:`Scheduler.post`) — a crash
+#: does not cancel them, it bumps the epoch so they return unheeded.
+_BUSY = object()
 
 
 class Node:
@@ -44,7 +49,7 @@ class Node:
         self.speed = speed
         self.busy = BusyTracker()
         self._queue: Deque[Tuple[float, Callable[[], None]]] = deque()
-        self._in_service: Optional[EventHandle] = None
+        self._in_service: Optional[object] = None
         self._down = False
         self._epoch = 0  # bumped on crash; stale completions are ignored
         self._crash_listeners: List[Callable[[], None]] = []
@@ -130,7 +135,8 @@ class Node:
         cost, fn = self._queue.popleft()
         epoch = self._epoch
         self.busy.add_busy(cost)
-        self._in_service = self.scheduler.after(cost, self._complete, epoch, fn)
+        self._in_service = _BUSY
+        self.scheduler.post(now + cost, self._complete, epoch, fn)
 
     def _complete(self, epoch: int, fn: Callable[[], None]) -> None:
         if epoch != self._epoch:
@@ -152,9 +158,9 @@ class Node:
         self._down = True
         self._epoch += 1
         self._queue.clear()
-        if self._in_service is not None:
-            self._in_service.cancel()
-            self._in_service = None
+        # The posted completion (if any) will fire with a stale epoch
+        # and return without running the job.
+        self._in_service = None
         for fn in list(self._crash_listeners):
             fn()
 

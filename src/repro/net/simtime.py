@@ -7,7 +7,10 @@ discrete-event scheduler instead.  The kernel is deliberately tiny:
 * time is a float in **milliseconds** (the paper's tick unit),
 * events fire in ``(time, sequence)`` order, so equal-time events fire
   in scheduling order and every run is exactly reproducible,
-* handles support O(1) cancellation (lazily removed from the heap).
+* handles support O(1) cancellation (lazily removed from the heap),
+* fire-and-forget callbacks (:meth:`Scheduler.post`) skip the handle
+  allocation entirely — the per-message hot path (link arrivals,
+  batch flushes) schedules bare heap tuples.
 
 Periodic activities (knowledge flushes, ack timers, metric sampling)
 are built from :meth:`Scheduler.every`.
@@ -60,7 +63,11 @@ class Scheduler:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: List[Tuple[float, int, EventHandle]] = []
+        # Entries are (time, seq, EventHandle) for cancellable events or
+        # (time, seq, fn, args) for posted ones; seq is unique, so heap
+        # comparisons are decided before reaching the third element and
+        # the two shapes coexist in one heap.
+        self._heap: List[Tuple[Any, ...]] = []
         self._seq = itertools.count()
         self._executed = 0
 
@@ -99,6 +106,19 @@ class Scheduler:
             raise ValueError(f"negative delay: {delay}")
         return self.at(self._now + delay, fn, *args)
 
+    def post(self, time: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at ``time``, fire-and-forget.
+
+        The hot-path variant of :meth:`at` for callbacks that are never
+        cancelled (link arrivals, batch flushes): no
+        :class:`EventHandle` is allocated and no cancellation check runs
+        at fire time.  Firing order relative to :meth:`at` events is
+        identical — both share the ``(time, seq)`` key.
+        """
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
+        heapq.heappush(self._heap, (time, next(self._seq), fn, args))
+
     def every(
         self,
         interval: float,
@@ -133,7 +153,13 @@ class Scheduler:
     def step(self) -> bool:
         """Execute the next event.  Returns False when the queue is empty."""
         while self._heap:
-            time, _seq, handle = heapq.heappop(self._heap)
+            entry = heapq.heappop(self._heap)
+            if len(entry) == 4:  # posted: (time, seq, fn, args)
+                self._now = entry[0]
+                self._executed += 1
+                entry[2](*entry[3])
+                return True
+            time, _seq, handle = entry
             if handle.cancelled:
                 continue
             self._now = time

@@ -123,3 +123,130 @@ class TestMaxTickAndHelpers:
         from repro.core.messages import split_update
         old, new = split_update(upd(), 5)
         assert old.is_empty() and new.is_empty()
+
+
+class TestClassifyWithinBoundaries:
+    """Exact window edges for ``TickMap.classify_within``.
+
+    The cache-serving brokers call this with nack windows that land
+    exactly on run boundaries (a chop at ``refilter_below``, a window
+    starting at the lost prefix); off-by-one here silently reclassifies
+    the boundary tick.
+    """
+
+    def _tm(self):
+        from repro.core.tickmap import TickMap
+        tm = TickMap()
+        tm.set_s(3, 4)
+        tm.set_d(5, ev(5))
+        tm.set_s(6, 8)
+        tm.set_lost_below(3)  # ticks 1..2 become L
+        return tm
+
+    def test_window_on_run_edges(self):
+        d, s, l, q = self._tm().classify_within(3, 8)
+        assert [e.timestamp for e in d] == [5]
+        assert s == [(3, 4), (6, 8)]
+        assert l == [] and q.as_tuples() == []
+
+    def test_window_chops_s_runs(self):
+        # Start and end land strictly inside S runs: each contributes
+        # only its in-window remainder, never the whole run.
+        d, s, l, q = self._tm().classify_within(4, 7)
+        assert [e.timestamp for e in d] == [5]
+        assert s == [(4, 4), (6, 7)]
+
+    def test_window_exactly_one_d_tick(self):
+        d, s, l, q = self._tm().classify_within(5, 5)
+        assert [e.timestamp for e in d] == [5]
+        assert s == [] and l == [] and q.as_tuples() == []
+
+    def test_window_straddles_lost_prefix(self):
+        # Tick 2 is the last lost tick, 3 the first known one.
+        d, s, l, q = self._tm().classify_within(2, 5)
+        assert l == [(2, 2)]
+        assert s == [(3, 4)]
+        assert [e.timestamp for e in d] == [5]
+
+    def test_window_past_frontier_is_q(self):
+        d, s, l, q = self._tm().classify_within(9, 12)
+        assert d == [] and s == [] and l == []
+        assert q.as_tuples() == [(9, 12)]
+
+
+class TestCoalesceRangeBoundaries:
+    """``coalesce_ranges`` at exact adjacency — the shape batch
+    filtering emits (one single-tick S per suppressed event)."""
+
+    def test_adjacent_single_ticks_merge(self):
+        from repro.util.intervals import coalesce_ranges
+        assert coalesce_ranges([(7, 7), (5, 5), (6, 6)]) == [(5, 7)]
+
+    def test_gap_of_one_stays_split(self):
+        from repro.util.intervals import coalesce_ranges
+        assert coalesce_ranges([(5, 5), (7, 7)]) == [(5, 5), (7, 7)]
+
+    def test_contained_and_overlapping(self):
+        from repro.util.intervals import coalesce_ranges
+        assert coalesce_ranges([(1, 9), (2, 3), (9, 11)]) == [(1, 11)]
+
+    def test_inverted_range_rejected(self):
+        from repro.util.intervals import coalesce_ranges
+        with pytest.raises(ValueError):
+            coalesce_ranges([(5, 4)])
+
+
+class TestBatchFilterRefilterBoundary:
+    """A D-event batch spanning the ``refilter_below`` chop must split
+    exactly at the boundary: ticks ``< keep_below`` pass unfiltered
+    (the SHB refilters them itself), the boundary tick and everything
+    above go through the child's batch aggregate, and the suppressed
+    remainder coalesces with neighbouring S knowledge.
+    """
+
+    def _phb_with_child(self, match_g=0):
+        from repro.broker.phb import PublisherHostingBroker
+        from repro.matching.engine import MatchingEngine
+        from repro.matching.predicates import Eq
+        from repro.net.simtime import Scheduler
+        phb = PublisherHostingBroker(Scheduler(), "phb")
+        phb.child_engines["c1"] = MatchingEngine()
+        phb.child_engines["c1"].add("s1", Eq("g", match_g))
+        phb.child_filter_ready["c1"] = True
+        return phb
+
+    def test_batch_splits_at_keep_below(self):
+        # g = t % 4, child wants g == 0.  Ticks 4..8 with keep_below=6:
+        # 4 and 5 pass unfiltered (5 would NOT match), 6 and 7 are
+        # filtered to S, 8 matches and stays D.
+        phb = self._phb_with_child()
+        out = phb._filter_for_child("c1", upd(d=[4, 5, 6, 7, 8]), keep_below=6)
+        assert [e.timestamp for e in out.d_events] == [4, 5, 8]
+        assert out.s_ranges == [(6, 7)]
+
+    def test_boundary_tick_is_refiltered(self):
+        # keep_below is exclusive: the tick *at* the boundary goes
+        # through the matcher (here g=2 does not match, so it turns S).
+        phb = self._phb_with_child()
+        out = phb._filter_for_child("c1", upd(d=[6]), keep_below=6)
+        assert out.d_events == []
+        assert out.s_ranges == [(6, 6)]
+        out = phb._filter_for_child("c1", upd(d=[6]), keep_below=7)
+        assert [e.timestamp for e in out.d_events] == [6]
+        assert out.s_ranges == []
+
+    def test_filtered_ticks_coalesce_with_update_silence(self):
+        # The suppressed tick is adjacent to carried S knowledge on both
+        # sides: one maximal range must ship, not three fragments.
+        phb = self._phb_with_child()
+        out = phb._filter_for_child("c1", upd(d=[3], s=[(1, 2), (4, 6)]))
+        assert out.d_events == []
+        assert out.s_ranges == [(1, 6)]
+
+    def test_whole_batch_below_boundary_skips_matching(self):
+        phb = self._phb_with_child()
+        engine = phb.child_engines["c1"]
+        before = engine.events_processed
+        out = phb._filter_for_child("c1", upd(d=[1, 2, 3]), keep_below=4)
+        assert [e.timestamp for e in out.d_events] == [1, 2, 3]
+        assert engine.events_processed == before

@@ -1,0 +1,239 @@
+"""Differential batch-vs-single property suite for the matching engine.
+
+The batch entry points (``match_batch``, ``matches_any_batch``,
+``match_at_batch``) are pure performance transforms: amortizing index
+probes and counting loops across a batch must change *nothing* about
+the answers.  These tests drive seeded subscription churn (adds,
+removes, bulk ``replace_all`` refreshes) interleaved with event
+batches, asserting three-way agreement after every step:
+
+* ``match_batch`` ≡ one ``match`` call per event, in order;
+* ``matches_any_batch`` ≡ one ``matches_any`` call per event;
+* both ≡ the naive model (evaluate every predicate tree per event).
+
+Churn matters because it is exactly what invalidates the batch caches
+(probe cache, signature memo): a stale entry surviving an add/remove
+is the bug class this suite exists to catch.  The predicate generator
+covers the decomposable forms (equality, membership, ranges), the
+opaque ones (``Or`` mixing attributes, negated ``Exists``), and
+``Nothing()`` — the NeverAtom corner, whose atom indexes nowhere and
+must never surface from a batch.
+
+Batch sizes {1, 7, 64} cover the degenerate single-event batch, a
+size that straddles churn boundaries, and one larger than most event
+streams between churn steps (forcing ragged final chunks).  The quick
+tests run one seed per batch size; the full sweep across every
+(seed, batch size) pair is ``@pytest.mark.soak``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+import pytest
+
+from repro.matching.engine import MATCH_CACHE_LIMIT, MatchingEngine
+from repro.matching.predicates import (
+    And, Between, Eq, Everything, Exists, Gt, In, Ne, Nothing, Or,
+    Predicate, Prefix,
+)
+from repro.matching.topics import Topic
+
+BATCH_SIZES = [1, 7, 64]
+SEEDS = [13, 52, 907]
+N_STEPS = 80
+
+
+def _random_predicate(rng: random.Random) -> Predicate:
+    """Every predicate family, weighted toward the hot decomposable
+    forms but with the opaque and NeverAtom corners always in play."""
+    roll = rng.random()
+    if roll < 0.20:
+        return Eq("g", rng.randrange(6))
+    if roll < 0.34:
+        return In("g", rng.sample(range(6), rng.randrange(1, 4)))
+    if roll < 0.44:
+        return Gt("x", rng.randrange(8))
+    if roll < 0.52:
+        return Between("x", rng.randrange(4), rng.randrange(4, 9))
+    if roll < 0.66:
+        return And(
+            [Eq("g", rng.randrange(6)), Between("x", rng.randrange(4), rng.randrange(4, 9))]
+        )
+    if roll < 0.72:
+        return Or([Eq("g", rng.randrange(6)), Gt("x", rng.randrange(8))])  # opaque
+    if roll < 0.78:
+        return Ne("g", rng.randrange(6))
+    if roll < 0.82:
+        return Prefix("sym", rng.choice(["IBM", "MS", "A"]))
+    if roll < 0.86:
+        return Topic(rng.choice(["a.b", "a.*", "a.#", "b.c"]))
+    if roll < 0.90:
+        return Exists("opt")
+    if roll < 0.93:
+        return ~Exists("opt")  # opaque Not
+    if roll < 0.96:
+        return Everything()
+    return Nothing()  # NeverAtom: indexed nowhere, matches nothing
+
+
+def _random_event(rng: random.Random) -> Dict[str, object]:
+    attrs: Dict[str, object] = {
+        "g": rng.randrange(7),
+        "x": rng.randrange(10),
+        "sym": rng.choice(["IBM.N", "MSFT", "AAPL", ""]),
+        "_topic": rng.choice(["a.b", "a.b.c", "b.c", "a"]),
+    }
+    if rng.random() < 0.3:
+        attrs["opt"] = rng.randrange(3)
+    if rng.random() < 0.1:
+        attrs["g"] = None
+    if rng.random() < 0.05:
+        attrs["x"] = [1, 2]  # unhashable: must bypass the probe cache
+    return attrs
+
+
+def _churn_step(rng: random.Random, eng: MatchingEngine, model: Dict[str, Predicate]) -> None:
+    op = rng.random()
+    if op < 0.55 or not model:
+        sid = f"s{rng.randrange(40)}"
+        pred = _random_predicate(rng)
+        eng.add(sid, pred)
+        model[sid] = pred
+    elif op < 0.85:
+        sid = rng.choice(list(model))
+        eng.remove(sid)
+        del model[sid]
+    else:
+        staged = dict(model)
+        for sid in list(staged):
+            r = rng.random()
+            if r < 0.15:
+                del staged[sid]
+            elif r < 0.3:
+                staged[sid] = _random_predicate(rng)
+        staged[f"s{rng.randrange(40)}"] = _random_predicate(rng)
+        eng.replace_all(staged)
+        model.clear()
+        model.update(staged)
+
+
+def _drive(seed: int, batch_size: int, n_steps: int) -> None:
+    rng = random.Random(seed)
+    eng, model = MatchingEngine(), {}
+    for step in range(n_steps):
+        _churn_step(rng, eng, model)
+        batch = [_random_event(rng) for _ in range(batch_size)]
+        tag = f"seed={seed} bs={batch_size} step={step}"
+
+        naive = [
+            {sid for sid, p in model.items() if p.matches(attrs)} for attrs in batch
+        ]
+        got = eng.match_batch(batch)
+        assert got == naive, f"{tag}: match_batch diverged from model"
+        assert got == [eng.match(attrs) for attrs in batch], (
+            f"{tag}: match_batch diverged from per-event match"
+        )
+
+        any_got = eng.matches_any_batch(batch)
+        assert any_got == [bool(expected) for expected in naive], (
+            f"{tag}: matches_any_batch diverged from model"
+        )
+        assert any_got == [eng.matches_any(attrs) for attrs in batch], (
+            f"{tag}: matches_any_batch diverged from per-event matches_any"
+        )
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_batch_equals_single_under_churn(batch_size):
+    _drive(SEEDS[0], batch_size, N_STEPS)
+
+
+@pytest.mark.soak
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_batch_equals_single_full_sweep(seed, batch_size):
+    _drive(seed, batch_size, 4 * N_STEPS)
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_batch_toggle_is_invisible(batch_size):
+    """``batch_matching = False`` must be indistinguishable: same
+    results from the same call sequence, fresh engines either way."""
+    def run(enabled: bool) -> List[List[object]]:
+        rng = random.Random(SEEDS[1])
+        eng, model = MatchingEngine(), {}
+        out: List[List[object]] = []
+        try:
+            MatchingEngine.batch_matching = enabled
+            for _ in range(N_STEPS // 2):
+                _churn_step(rng, eng, model)
+                batch = [_random_event(rng) for _ in range(batch_size)]
+                out.append(
+                    [eng.match_batch(batch), eng.matches_any_batch(batch)]
+                )
+        finally:
+            MatchingEngine.batch_matching = True
+        return out
+
+    assert run(True) == run(False)
+
+
+def test_match_at_batch_equals_match_at():
+    """Mixed hit/miss batches must return what per-event ``match_at``
+    would, and leave the cache able to serve every event as a hit."""
+    rng = random.Random(SEEDS[2])
+    eng, model = MatchingEngine(), {}
+    for _ in range(20):
+        _churn_step(rng, eng, model)
+    events = [(f"p:{i}", _random_event(rng)) for i in range(30)]
+    # Prime a prefix so the batch sees hits and misses interleaved.
+    for eid, attrs in events[:10][::2]:
+        eng.match_at(eid, attrs)
+    cold = MatchingEngine()
+    cold.replace_all(model)
+    expected = [cold.match_at(eid, attrs) for eid, attrs in events]
+    assert eng.match_at_batch(events) == expected
+    # Every id is now cached: a second pass is all hits.
+    hits_before = eng.cache_hits
+    assert eng.match_at_batch(events) == expected
+    assert eng.cache_hits == hits_before + len(events)
+
+
+def test_match_at_batch_under_eviction(monkeypatch):
+    """Eviction mid-batch must not corrupt answers: with the FIFO bound
+    shrunk below the batch size, every result still matches a cold
+    engine even though early insertions are evicted by later ones."""
+    monkeypatch.setattr("repro.matching.engine.MATCH_CACHE_LIMIT", 4)
+    rng = random.Random(SEEDS[0])
+    eng, model = MatchingEngine(), {}
+    for _ in range(15):
+        _churn_step(rng, eng, model)
+    events = [(f"p:{i}", _random_event(rng)) for i in range(12)]
+    cold = MatchingEngine()
+    cold.replace_all(model)
+    expected = [cold.match_at(eid, attrs) for eid, attrs in events]
+    assert eng.match_at_batch(events) == expected
+    assert len(eng._match_cache) <= 4
+
+
+def test_never_atom_only_engine_batches_empty():
+    """An engine holding only ``Nothing()`` subscriptions: the batch
+    path must surface no keys (NeverAtom indexes nowhere) while an
+    ``Everything()`` arriving mid-stream flips every later answer."""
+    eng = MatchingEngine()
+    eng.add("never1", Nothing())
+    eng.add("never2", And([Eq("g", 1), Nothing()]))
+    batch = [{"g": 1}, {"g": 2}]
+    assert eng.match_batch(batch) == [set(), set()]
+    assert eng.matches_any_batch(batch) == [False, False]
+    eng.add("all", Everything())
+    assert eng.match_batch(batch) == [{"all"}, {"all"}]
+    assert eng.matches_any_batch(batch) == [True, True]
+
+
+def test_module_limit_is_the_default():
+    # The eviction tests above monkeypatch the bound; pin the real one
+    # so an accidental production shrink is loud.
+    assert MATCH_CACHE_LIMIT == 4096

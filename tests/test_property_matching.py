@@ -148,3 +148,45 @@ def test_match_cache_stays_consistent_under_churn(seed):
         assert eng.match_at(eid, attrs) == expected, f"seed={seed} step={step}"
     # Every answer so far must have come from the repaired cache.
     assert eng.cache_misses == len(events)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_match_cache_eviction_under_churn(seed):
+    """FIFO eviction interleaved with churn must stay consistent.
+
+    The in-place repair above never exercises eviction: the cache stays
+    far below its bound.  Here the bound is shrunk to 8 and a stream of
+    fresh event ids pushes entries out *while* subscriptions churn, so
+    every answer mixes three provenances — repaired survivors, evicted
+    ids re-matched cold, and brand-new ids.  Each must equal what a cold
+    engine holding the current subscription set computes, and evicted
+    ids must genuinely re-miss (the bound is enforced, not bypassed).
+    """
+    import repro.matching.engine as engine_mod
+
+    limit, orig = 8, engine_mod.MATCH_CACHE_LIMIT
+    engine_mod.MATCH_CACHE_LIMIT = limit
+    try:
+        rng = random.Random(seed)
+        eng, model = MatchingEngine(), {}
+        events = {f"p:{i}": _random_event(rng) for i in range(3 * limit)}
+        eids = list(events)
+        for step in range(200):
+            sid = f"s{rng.randrange(15)}"
+            if rng.random() < 0.6 or sid not in model:
+                pred = _random_predicate(rng)
+                eng.add(sid, pred)
+                model[sid] = pred
+            else:
+                eng.remove(sid)
+                del model[sid]
+            # Walk the id space so older entries keep falling out.
+            eid = eids[(step + rng.randrange(limit)) % len(eids)]
+            attrs = events[eid]
+            expected = frozenset(s for s, p in model.items() if p.matches(attrs))
+            assert eng.match_at(eid, attrs) == expected, f"seed={seed} step={step}"
+            assert len(eng._match_cache) <= limit
+        # Eviction actually happened: far more misses than the cache holds.
+        assert eng.cache_misses > limit
+    finally:
+        engine_mod.MATCH_CACHE_LIMIT = orig
