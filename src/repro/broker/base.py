@@ -112,6 +112,32 @@ class Broker:
             self.costs.broker_recv_cost,
         )
 
+    def unwire_parent(self) -> None:
+        """Remove the uplink wiring (dynamic-topology detach).
+
+        The caller is responsible for severing or retiring the
+        underlying :class:`~repro.net.link.Link`; this only forgets the
+        directed ends so the broker can later be re-wired to a new
+        parent (reparenting during an intermediate drain).
+        """
+        self.parent_name = None
+        self._parent_send = None
+
+    def unwire_child(self, child: str) -> None:
+        """Forget a child's wiring, filter union and staged epochs.
+
+        Part of the drain/leave path: after this, knowledge is no
+        longer fanned out to the child and its subscriptions no longer
+        contribute to this broker's upstream union.  Release-aggregator
+        cleanup is separate (see ``unregister_release_child`` on PHB /
+        intermediate) because it is keyed per pubend.
+        """
+        self._child_sends.pop(child, None)
+        self.child_engines.pop(child, None)
+        self.child_filter_ready.pop(child, None)
+        self._staged_subs.pop(child, None)
+        self._applied_sub_epoch.pop(child, None)
+
     @classmethod
     def connect(
         cls,

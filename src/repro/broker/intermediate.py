@@ -39,6 +39,11 @@ class _PubendRelay:
         self.consolidator = NackConsolidator(scheduler)
         self.release_agg = ReleaseAggregator(pubend)
         self.last_release_sent: Optional[Tuple[int, int]] = None
+        #: Epoch carried on upstream ReleaseUpdates.  Bumped whenever
+        #: the aggregate legitimately regresses (a child reported a
+        #: migration-install regression under a bumped epoch of its
+        #: own), so the parent's aggregator accepts the lower minima.
+        self.upstream_epoch = 0
         #: Per-child contiguous forwarding horizon: ticks at or below it
         #: have already been offered to that child as head knowledge.
         self.sent_cursor: Dict[str, int] = {}
@@ -86,8 +91,24 @@ class IntermediateBroker(Broker):
         # periodically because the changed-aggregate dedup in
         # _on_release would otherwise never resend a lost update.
         self._upstream_refresh_due = False
+        # Coverage-confirmation relay (see M.SubscriptionSynced): child
+        # sync epochs awaiting a root-applied ack, and the mapping from
+        # our own upstream refresh epochs to the child epochs each one
+        # covers.  Volatile — a child whose ack dies with us retries
+        # its confirmation refresh.
+        self._pending_sync_acks: Dict[str, int] = {}
+        self._cover_upstream: list = []  # (own_epoch, child, child_epoch)
+        # Relays (and their upstream epochs) are volatile; after a
+        # crash the rebuilt relays would restart at epoch 0 and the
+        # parent — which remembers the pre-crash epoch — would discard
+        # every report.  The floor, reset to the recovery time, keeps
+        # post-recovery epochs monotone across the crash.
+        self._release_epoch_floor = 0
         self.scheduler.every(self.subscription_refresh_ms, self._refresh_upstream)
         self.scheduler.every(self.release_resend_ms, self._resend_release)
+
+    def _up_epoch(self, relay: _PubendRelay) -> int:
+        return max(relay.upstream_epoch, self._release_epoch_floor)
 
     def _relay(self, pubend: str) -> _PubendRelay:
         relay = self._relays.get(pubend)
@@ -103,12 +124,54 @@ class IntermediateBroker(Broker):
         """Topology hook mirroring the PHB's (idempotent)."""
         self._relay(pubend).release_agg.register_child(child)
 
+    def unregister_release_child(self, pubend: str, child: str) -> None:
+        """Drain hook: drop a detached child from the aggregate."""
+        relay = self._relays.get(pubend)
+        if relay is not None:
+            relay.release_agg.unregister_child(child)
+
+    def forget_child(self, child: str) -> None:
+        """Purge all per-child relay state after a child detaches.
+
+        Called by the topology detach path *after* the broker-level
+        unwiring; leaves the relays consistent so a later re-attach of
+        a same-named broker starts cold rather than inheriting cursors.
+        """
+        for relay in self._relays.values():
+            relay.release_agg.unregister_child(child)
+            relay.sent_cursor.pop(child, None)
+            relay.refilter_floor.pop(child, None)
+            relay.consolidator.drop_requester(child)
+        self._pending_sync_acks.pop(child, None)
+        self._cover_upstream = [
+            t for t in self._cover_upstream if t[1] != child
+        ]
+
     # ------------------------------------------------------------------
     # Downstream flow: knowledge from the parent
     # ------------------------------------------------------------------
     def _handle_from_parent(self, msg: object) -> None:
         if isinstance(msg, M.KnowledgeUpdate):
             self._on_knowledge(msg)
+        elif isinstance(msg, M.SubscriptionSynced):
+            self._on_cover_ack(msg.epoch)
+
+    def _on_cover_ack(self, epoch: int) -> None:
+        """A refresh of ours is applied root-to-here; ack the children
+        whose confirmation requests it covered.
+
+        Each child ack rides the CPU queue so it stays behind knowledge
+        already relayed to that child — the per-hop FIFO argument in
+        :class:`~repro.core.messages.SubscriptionSynced` composes down
+        the chain.
+        """
+        due = [(c, ce) for (e, c, ce) in self._cover_upstream if e <= epoch]
+        self._cover_upstream = [t for t in self._cover_upstream if t[0] > epoch]
+        for child, child_epoch in due:
+            ack = M.SubscriptionSynced(child_epoch)
+            self.node.submit(
+                0.02, lambda c=child, a=ack: self.send_to_child(c, a)
+            )
 
     def _on_knowledge(self, update: M.KnowledgeUpdate) -> None:
         relay = self._relay(update.pubend)
@@ -214,15 +277,25 @@ class IntermediateBroker(Broker):
             self.send_up(msg)
         elif isinstance(msg, M.SubscriptionSync):
             warmed = self._on_subscription_sync(child, msg)
+            if (
+                msg.want_ack
+                and msg.epoch is not None
+                and self._applied_sub_epoch.get(child, -1) >= msg.epoch
+            ):
+                # The child wants root-applied confirmation: remember
+                # its epoch; the next upstream refresh carries it.
+                prev = self._pending_sync_acks.get(child, -1)
+                self._pending_sync_acks[child] = max(prev, msg.epoch)
             # This broker's own union is complete only once every
             # child has re-synced; then tell the parent.
             if warmed and all(self.child_filter_ready.values()):
                 if msg.epoch is None:
                     total = sum(len(e) for e in self.child_engines.values())
                     self.send_up(M.SubscriptionSync(total))
-                elif self._upstream_refresh_due:
-                    # First full warm-up after our recovery: push the
-                    # verified union up now rather than next interval.
+                elif self._upstream_refresh_due or self._pending_sync_acks:
+                    # First full warm-up after our recovery — or a
+                    # confirmation waiting — push the verified union up
+                    # now rather than next interval.
                     self._refresh_upstream()
 
     def _on_nack(self, child: str, nack: M.Nack) -> None:
@@ -274,11 +347,18 @@ class IntermediateBroker(Broker):
 
     def _on_release(self, child: str, msg: M.ReleaseUpdate) -> None:
         relay = self._relay(msg.pubend)
-        relay.release_agg.update(child, msg.released, msg.latest_delivered)
+        relay.release_agg.update(child, msg.released, msg.latest_delivered, epoch=msg.epoch)
         agg = relay.release_agg.aggregate()
         if agg is not None and agg != relay.last_release_sent:
+            prev = relay.last_release_sent
+            if prev is not None and (agg[0] < prev[0] or agg[1] < prev[1]):
+                # A child's epoch bump lowered the aggregate; bump our
+                # own upstream epoch so the parent accepts it too.
+                relay.upstream_epoch = max(relay.upstream_epoch + 1, int(self.scheduler.now))
             relay.last_release_sent = agg
-            self.send_up(M.ReleaseUpdate(msg.pubend, agg[0], agg[1]))
+            self.send_up(
+                M.ReleaseUpdate(msg.pubend, agg[0], agg[1], epoch=self._up_epoch(relay))
+            )
 
     # ------------------------------------------------------------------
     # Lossy-link resilience (periodic upstream re-sync)
@@ -302,7 +382,14 @@ class IntermediateBroker(Broker):
                     M.SubscriptionAdd(sub_id, engine.filter_of(sub_id), epoch=epoch)
                 )
                 count += 1
-        self.send_up(M.SubscriptionSync(count, epoch=epoch))
+        want_ack = bool(self._pending_sync_acks)
+        self.send_up(M.SubscriptionSync(count, epoch=epoch, want_ack=want_ack))
+        if want_ack:
+            # This refresh covers every child confirmation collected so
+            # far: when the parent acks our epoch, theirs are answered.
+            for child, child_epoch in self._pending_sync_acks.items():
+                self._cover_upstream.append((epoch, child, child_epoch))
+            self._pending_sync_acks.clear()
 
     def _resend_release(self) -> None:
         if self.node.is_down:
@@ -310,8 +397,15 @@ class IntermediateBroker(Broker):
         for pubend, relay in self._relays.items():
             agg = relay.release_agg.aggregate()
             if agg is not None:
+                prev = relay.last_release_sent
+                if prev is not None and (agg[0] < prev[0] or agg[1] < prev[1]):
+                    relay.upstream_epoch = max(
+                        relay.upstream_epoch + 1, int(self.scheduler.now)
+                    )
                 relay.last_release_sent = agg
-                self.send_up(M.ReleaseUpdate(pubend, agg[0], agg[1]))
+                self.send_up(
+                    M.ReleaseUpdate(pubend, agg[0], agg[1], epoch=self._up_epoch(relay))
+                )
 
     # ------------------------------------------------------------------
     # Failure handling: an intermediate has no persistent state
@@ -319,6 +413,13 @@ class IntermediateBroker(Broker):
     def _on_node_recover(self) -> None:
         self._relays.clear()
         self._upstream_refresh_due = True
+        # Confirmation state died with the node; children whose acks
+        # were in flight re-request via their install retries.
+        self._pending_sync_acks.clear()
+        self._cover_upstream.clear()
+        # Rebuilt relays restart at epoch 0; keep upstream epochs
+        # monotone across the crash so the parent accepts our reports.
+        self._release_epoch_floor = int(self.scheduler.now)
 
     def _on_uplink_restored(self) -> None:
         """Partition toward the parent healed: re-sync eagerly."""

@@ -77,6 +77,15 @@ class PublisherHostingBroker(Broker):
         """Topology hook: ``child`` will report release state for ``pubend``."""
         self.pubends[pubend].release_agg.register_child(child)
 
+    def unregister_release_child(self, pubend: str, child: str) -> None:
+        """Drain hook: ``child`` left the tree and will report no more.
+
+        Without this a detached child's last report would pin the
+        aggregate minimum forever, freezing release for everyone.
+        """
+        self.pubends[pubend].release_agg.unregister_child(child)
+        self.pubends[pubend].apply_release()
+
     # ------------------------------------------------------------------
     # Publish path
     # ------------------------------------------------------------------
@@ -241,13 +250,26 @@ class PublisherHostingBroker(Broker):
         elif isinstance(msg, M.ReleaseUpdate):
             pubend = self.pubends.get(msg.pubend)
             if pubend is not None:
-                pubend.on_release_report(child, msg.released, msg.latest_delivered)
+                pubend.on_release_report(
+                    child, msg.released, msg.latest_delivered, epoch=msg.epoch
+                )
         elif isinstance(msg, M.SubscriptionAdd):
             self._on_subscription_add(child, msg)
         elif isinstance(msg, M.SubscriptionRemove):
             self._on_subscription_remove(child, msg)
         elif isinstance(msg, M.SubscriptionSync):
             self._on_subscription_sync(child, msg)
+            applied = self._applied_sub_epoch.get(child, -1)
+            if msg.want_ack and msg.epoch is not None and applied >= msg.epoch:
+                # Root ack for a coverage-confirmation refresh.  Queued
+                # through the CPU queue: dissemination classifies
+                # synchronously but *sends* via submitted jobs, so the
+                # ack must not overtake knowledge classified under the
+                # pre-refresh union (see SubscriptionSynced).
+                ack = M.SubscriptionSynced(applied)
+                self.node.submit(
+                    0.02, lambda c=child, a=ack: self.send_to_child(c, a)
+                )
 
     def _serve_nack(self, child: str, nack: M.Nack) -> None:
         pubend = self.pubends.get(nack.pubend)

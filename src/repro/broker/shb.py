@@ -36,6 +36,7 @@ from ..net.link import Link, LinkEnd
 from ..net.node import Node
 from ..net.simtime import PeriodicHandle, Scheduler
 from ..pfs.pfs import PersistentFilteringSubsystem
+from ..sim.crashpoints import HOOKS
 from ..storage.disk import SimDisk
 from ..storage.logvolume import LogVolume
 from ..storage.table import PersistentTable
@@ -137,6 +138,48 @@ class SubscriberHostingBroker(Broker):
         #: _maybe_clear_suspect once re-registrations cover every
         #: PFS-referenced num.
         self.registry_suspect = False
+        # -- dynamic topology (supervised join / drain / migration) ----
+        #: While True this SHB refuses *new* subscriptions (existing
+        #: ones still reconnect until they are migrated away).
+        self.draining = False
+        #: In-flight outbound handoffs: sub_id -> (handoff epoch, dest).
+        #: Connects for these are refused with a redirect so the client
+        #: does not race the handoff.  Volatile: a crash aborts the
+        #: attempt and the supervisor retries with a higher epoch.
+        self._migrating: Dict[str, Tuple[int, str]] = {}
+        #: Set by jms.ctstore.CheckpointCommitService when the JMS CT
+        #: layer is in use; migration hands its rows off through it.
+        self.ct_service: Optional[object] = None
+        #: Release epochs (see messages.ReleaseUpdate.epoch): bumped per
+        #: pubend when a migration install may lower this SHB's release
+        #: floor.  Volatile; the floor keeps post-recovery epochs above
+        #: anything reported in a previous life.
+        self._release_epoch: Dict[str, int] = {}
+        self._release_epoch_floor = 0
+        #: Handoff release pins: pubend -> [(expires_at_ms, floor)].
+        #: Dropping a migrated-out row raises this SHB's release floor
+        #: immediately, but the destination's covering report reaches
+        #: the root asynchronously over lossy links; until it lands, the
+        #: pubend could release past the handed-off floor and chop
+        #: events the subscriber still needs.  Each pin keeps the old
+        #: floor in this SHB's reports across that propagation window
+        #: (residual-window analysis in PROTOCOL.md §8).
+        self._migration_pins: Dict[str, List[Tuple[float, int]]] = {}
+        #: How long a handoff release pin outlives the row drop.  Must
+        #: exceed the destination's report propagation delay (report
+        #: period + per-hop latency + any fault-induced stall).
+        self.migration_pin_ms = 2_000.0
+        #: Inbound installs awaiting root coverage confirmation:
+        #: sub_id -> (refresh epoch, handoff_id, handoff epoch, reply
+        #: end).  The installed row's provisional ``pfs_from`` is this
+        #: SHB's delivery cursor, but ticks above it may still arrive
+        #: classified as silence under the pre-install subscription
+        #: union; MigrateInstalled is held back until the refresh
+        #: round-trips the root (M.SubscriptionSynced), at which point
+        #: every such tick is behind us and ``pfs_from`` is finalized
+        #: past them.  Volatile: the supervisor's install retries
+        #: restart the confirmation after a crash.
+        self._cover_pending: Dict[str, Tuple[Optional[int], str, int, LinkEnd]] = {}
 
         self.node.on_crash(self._on_node_crash)
         self._build_volatile()
@@ -244,12 +287,22 @@ class SubscriberHostingBroker(Broker):
             self._on_ack(msg)
         elif isinstance(msg, M.DisconnectRequest):
             self._disconnect_sub(msg.sub_id)
+        elif isinstance(msg, M.MigrateRequest):
+            self._on_migrate_request(send_end, msg)
+        elif isinstance(msg, M.MigrateInstall):
+            self._on_migrate_install(send_end, msg)
+        elif isinstance(msg, M.MigrateCommit):
+            self._on_migrate_commit(send_end, msg)
         else:
             handler = self._client_extensions.get(type(msg))
             if handler is not None:
                 handler(send_end, msg)
 
     def _on_connect(self, send_end: LinkEnd, req: M.ConnectRequest) -> None:
+        refusal = self._connect_refusal(req.sub_id)
+        if refusal is not None:
+            send_end.send(refusal)
+            return
         sub = self.registry.get(req.sub_id)
         refilter_until: Dict[str, int] = {}
         if sub is None:
@@ -368,6 +421,305 @@ class SubscriberHostingBroker(Broker):
             self.registry.drop(sub_id)
             self.engine.remove(sub_id)
             self.send_up(M.SubscriptionRemove(self._global_sub_id(sub_id)))
+
+    # ------------------------------------------------------------------
+    # Dynamic topology: supervised join / drain / migration
+    # ------------------------------------------------------------------
+    def fast_forward(self, cursors: Dict[str, int]) -> None:
+        """Supervised-join bootstrap: adopt current dissemination cursors.
+
+        A freshly admitted SHB starts its constreams at tick 0; the
+        head gap check would immediately nack each pubend's *entire
+        history* upstream.  Since a joining SHB hosts no subscriptions
+        yet, it owes that history to nobody — the supervisor hands it
+        the pubends' current dissemination points and delivery begins
+        there.  New subscriptions then get their registration cursors
+        (``pfs_from``) at or above these values, exactly as on any
+        long-running SHB.
+        """
+        if len(self.registry):
+            raise ProtocolError(
+                f"{self.name}: fast_forward while hosting subscriptions"
+            )
+        for pubend, cursor in cursors.items():
+            constream = self.constreams.get(pubend)
+            if constream is not None:
+                constream.fast_forward(cursor)
+        self.meta_table.commit()
+
+    def begin_drain(self) -> None:
+        """Supervised drain, step 1: stop admitting new subscriptions."""
+        self.draining = True
+
+    @property
+    def hosts_subscriptions(self) -> bool:
+        return len(self.registry) > 0
+
+    def _connect_refusal(self, sub_id: str) -> Optional[M.ConnectRefused]:
+        """Why a connect cannot be served here, if it cannot."""
+        inflight = self._migrating.get(sub_id)
+        if inflight is not None:
+            return M.ConnectRefused(sub_id, "migrating", redirect_to=inflight[1])
+        if sub_id in self._cover_pending:
+            # Installed but not yet coverage-confirmed: the row's
+            # pfs_from is still provisional, so a connect served now
+            # could trust PFS silence inside the suspect span.  The
+            # client simply retries; confirmation takes one refresh
+            # round trip to the root.
+            return M.ConnectRefused(sub_id, "installing")
+        if sub_id not in self.registry:
+            tomb = self.meta_table.get(f"migrated_out:{sub_id}")
+            if tomb is not None:
+                return M.ConnectRefused(sub_id, "migrated", redirect_to=tomb[0])
+            if self.draining:
+                return M.ConnectRefused(sub_id, "draining")
+        return None
+
+    def _migration_epoch(self, sub_id: str) -> int:
+        """Highest handoff epoch this SHB has acted on for ``sub_id``.
+
+        Persisted (meta table) so a retry of a superseded attempt is
+        still recognized as stale after any number of crashes on either
+        side; messages below it are dropped, making the whole handoff
+        flow idempotent under duplication, reordering and retransmission.
+        """
+        return self.meta_table.get(f"migrateEpoch:{sub_id}", 0)
+
+    def _note_migration_epoch(self, sub_id: str, epoch: int) -> None:
+        if epoch > self._migration_epoch(sub_id):
+            self.meta_table.put(f"migrateEpoch:{sub_id}", epoch)
+
+    def _on_migrate_request(self, send_end: LinkEnd, req: M.MigrateRequest) -> None:
+        """Source side, phase 1: snapshot the subscription's durable state.
+
+        Read-only except for the in-flight marker — the subscription
+        keeps delivering here until the commit; a stale snapshot only
+        makes the destination's floors conservative (the client's own
+        CT is the exactly-once authority on reconnect).
+        """
+        if req.epoch < self._migration_epoch(req.sub_id):
+            return  # stale retry of a superseded attempt
+        if HOOKS.enabled:
+            HOOKS.fire("migrate.offer.pre", self.name)
+        sub = self.registry.get(req.sub_id)
+        if sub is None:
+            send_end.send(
+                M.MigrateOffer(req.handoff_id, req.sub_id, req.epoch, found=False)
+            )
+            return
+        self._note_migration_epoch(req.sub_id, req.epoch)
+        self._migrating[req.sub_id] = (req.epoch, req.dest)
+        jms_ct: Dict[str, int] = {}
+        if self.ct_service is not None:
+            jms_ct = self.ct_service.export_ct(req.sub_id)  # type: ignore[attr-defined]
+        send_end.send(
+            M.MigrateOffer(
+                req.handoff_id,
+                req.sub_id,
+                req.epoch,
+                found=True,
+                predicate=sub.predicate,
+                released_ct={p: sub.released_for(p) for p in self.pubend_names},
+                pfs_from=dict(sub.pfs_from),
+                jms_ct=jms_ct,
+            )
+        )
+
+    def _on_migrate_install(self, send_end: LinkEnd, msg: M.MigrateInstall) -> None:
+        """Destination side, phase 2: adopt the subscription durably.
+
+        Idempotent: re-creation is guarded by the registry, acks are
+        monotone, and the PFS cursor never regresses — so a duplicated
+        or retried install re-acks without double-registering.
+
+        The ack is *not* sent from this method.  The registry row's
+        provisional ``pfs_from`` (this SHB's delivery cursor) is an
+        overclaim: ticks above the cursor may already be in flight from
+        upstream classified as silence under the pre-install union —
+        they carry no PFS record here, and once the source withdraws,
+        nobody else holds them either.  So the install triggers an
+        epoch-tagged subscription refresh with ``want_ack`` and parks
+        the reply in ``_cover_pending``; only when the root confirms
+        the refresh (:meth:`_on_subscription_synced`) is ``pfs_from``
+        finalized past the suspect span and MigrateInstalled sent —
+        still from a registry-commit durability callback, so the
+        supervisor never commits the source-side withdrawal unless this
+        SHB can survive a crash and still cover the subscription.
+        """
+        if msg.epoch < self._migration_epoch(msg.sub_id):
+            return  # superseded (e.g. the subscription migrated onward)
+        if HOOKS.enabled:
+            HOOKS.fire("migrate.install.pre", self.name)
+        self._note_migration_epoch(msg.sub_id, msg.epoch)
+        sub = self.registry.get(msg.sub_id)
+        if sub is None:
+            assert msg.predicate is not None
+            # Provisional PFS coverage starts at *this* SHB's stream
+            # position: records below it were matched without this
+            # subscription (reconnect-anywhere semantics, same as
+            # _on_connect).  The source's cursor is folded in for the
+            # degenerate case of a destination whose own cursors lag
+            # it.  Finalized upward at coverage confirmation.
+            pfs_from = {
+                p: max(
+                    msg.pfs_from.get(p, 0),
+                    self.constreams[p].delivered_cursor,
+                    self.pfs.last_timestamp(p),
+                )
+                for p in self.pubend_names
+            }
+            sub = self.registry.create(msg.sub_id, msg.predicate, pfs_from=pfs_from)
+            self.engine.add(sub.sub_id, sub.predicate)
+            self.send_up(M.SubscriptionAdd(self._global_sub_id(sub.sub_id), sub.predicate))
+            self._maybe_clear_suspect()
+        for pubend, t in msg.released_ct.items():
+            if pubend in self.constreams:
+                self.registry.ack(msg.sub_id, pubend, t)
+        if self.ct_service is not None and msg.jms_ct:
+            self.ct_service.install_ct(msg.sub_id, msg.jms_ct)  # type: ignore[attr-defined]
+        # A tombstone from a previous residency is void: the
+        # subscription lives here again.
+        self.meta_table.delete(f"migrated_out:{msg.sub_id}")
+        # The installed floor may sit below everything this SHB already
+        # reported released: bump the release epoch so upstream
+        # aggregators accept the regression (safe — the source still
+        # holds the same floor until the commit, so the pubend's Tr
+        # never passed it).
+        for pubend in self.pubend_names:
+            self._bump_release_epoch(pubend)
+        handoff_id, sub_id, epoch = msg.handoff_id, msg.sub_id, msg.epoch
+        confirmed = self.meta_table.get_committed(f"migrated_in:{sub_id}")
+        if (
+            confirmed is not None
+            and confirmed >= epoch
+            and sub_id not in self._cover_pending
+        ):
+            # Retry of a handoff whose coverage was already confirmed
+            # durably (migrated_in is written only at finalization):
+            # just re-ack; a lost MigrateInstalled heals here.
+            def installed_durable() -> None:
+                if HOOKS.enabled:
+                    HOOKS.fire("migrate.install.durable", self.name)
+                self._report_release()
+                send_end.send(M.MigrateInstalled(handoff_id, sub_id, epoch))
+
+            self.meta_table.commit()
+            self.registry.commit(installed_durable)
+            return
+        # Stage the adoption durably now, then start (or restart — a
+        # retry refreshes the epoch and reply end, healing lost acks)
+        # the coverage-confirmation round.  While the registry is
+        # suspect the refresh is suppressed and returns None; the
+        # supervisor's install retries re-attempt until it clears.
+        self.meta_table.commit()
+        self.registry.commit()
+        refresh_epoch = self._refresh_subscriptions(want_ack=True)
+        self._cover_pending[sub_id] = (refresh_epoch, handoff_id, epoch, send_end)
+
+    def _on_migrate_commit(self, send_end: LinkEnd, msg: M.MigrateCommit) -> None:
+        """Source side, phase 3: withdraw the migrated subscription.
+
+        The tombstone commits *before* the registry row drop: a crash
+        between the two leaves "row + tombstone", which recovery
+        reconciles by finishing the drop — never "no row, no tombstone",
+        which would let a reconnecting client silently re-create the
+        subscription here while the destination also owns it.
+        """
+        if msg.epoch < self._migration_epoch(msg.sub_id):
+            return  # a newer handoff owns this subscription's fate
+        if HOOKS.enabled:
+            HOOKS.fire("migrate.commit.pre", self.name)
+        self._note_migration_epoch(msg.sub_id, msg.epoch)
+        handoff_id, sub_id, epoch = msg.handoff_id, msg.sub_id, msg.epoch
+
+        def done() -> None:
+            if HOOKS.enabled:
+                HOOKS.fire("migrate.commit.durable", self.name)
+            send_end.send(M.MigrateDone(handoff_id, sub_id, epoch))
+
+        if sub_id not in self.registry:
+            # Duplicate commit: the withdrawal already happened; re-ack
+            # once the tombstone is durable.
+            if self.meta_table.get_committed(f"migrated_out:{sub_id}") is not None:
+                done()
+            else:
+                self.meta_table.put(f"migrated_out:{sub_id}", (msg.dest, epoch))
+                self.meta_table.commit(done)
+            return
+        # A client connected *here* right now must learn its session is
+        # over — _disconnect_sub only drops server-side state, and a
+        # client left believing it is connected would wedge silently.
+        session = self._sessions.get(sub_id)
+        if session is not None:
+            session.send(M.ConnectRefused(sub_id, "migrated", redirect_to=msg.dest))
+        self._disconnect_sub(sub_id)
+        self._pin_release_floors(sub_id)
+        self.meta_table.put(f"migrated_out:{sub_id}", (msg.dest, epoch))
+
+        def tombstone_durable() -> None:
+            if HOOKS.enabled:
+                HOOKS.fire("migrate.commit.tombstone", self.name)
+            if sub_id in self.registry:
+                self.registry.drop(sub_id)
+                self.engine.remove(sub_id)
+                self.send_up(M.SubscriptionRemove(self._global_sub_id(sub_id)))
+            self._migrating.pop(sub_id, None)
+            self.registry.commit(done)
+
+        self.meta_table.commit(tombstone_durable)
+
+    def _reconcile_migrations(self) -> None:
+        """Recovery reconciliation for interrupted handoffs.
+
+        A durable ``migrated_out`` tombstone whose registry row
+        survived (the crash hit between the tombstone commit and the
+        row-drop commit) is finished now; a tombstone superseded by a
+        later inbound migration (``migrated_in`` with a higher epoch
+        whose tombstone delete died in the crash) is discarded so it
+        cannot refuse the subscription's reconnects.
+        """
+        for key, value in list(self.meta_table.items()):
+            if not key.startswith("migrated_out:"):
+                continue
+            sub_id = key[len("migrated_out:"):]
+            if sub_id not in self.registry:
+                continue
+            _dest, epoch = value
+            if epoch >= self.meta_table.get(f"migrated_in:{sub_id}", -1):
+                self._pin_release_floors(sub_id)
+                self.registry.drop(sub_id)
+                self.engine.remove(sub_id)
+                self.send_up(M.SubscriptionRemove(self._global_sub_id(sub_id)))
+            else:
+                self.meta_table.delete(key)
+
+    def _pin_release_floors(self, sub_id: str) -> None:
+        """Pin the departing subscription's release floors for a while.
+
+        Called just before a migrated-out row is dropped; see the
+        ``_migration_pins`` comment for why the floors must outlive the
+        row.  Volatile by design: across a source crash the registry-
+        suspect hold (and the destination's already-propagating report)
+        cover the same window.
+        """
+        sub = self.registry.get(sub_id)
+        if sub is None:
+            return
+        expires = self.scheduler.now + self.migration_pin_ms
+        for pubend in self.pubend_names:
+            self._migration_pins.setdefault(pubend, []).append(
+                (expires, sub.released_for(pubend))
+            )
+
+    def _release_epoch_for(self, pubend: str) -> int:
+        return max(self._release_epoch.get(pubend, 0), self._release_epoch_floor)
+
+    def _bump_release_epoch(self, pubend: str) -> None:
+        # Clamped to sim time so epochs stay monotone across crashes
+        # (the recovery floor is also sim time).
+        self._release_epoch[pubend] = max(
+            self._release_epoch_for(pubend) + 1, int(self.scheduler.now)
+        )
 
     # ------------------------------------------------------------------
     # Catchup streams
@@ -583,6 +935,56 @@ class SubscriberHostingBroker(Broker):
     def _handle_from_parent(self, msg: object) -> None:
         if isinstance(msg, M.KnowledgeUpdate):
             self._on_knowledge(msg)
+        elif isinstance(msg, M.SubscriptionSynced):
+            self._on_subscription_synced(msg.epoch)
+
+    def _on_subscription_synced(self, acked_epoch: int) -> None:
+        """Root coverage confirmation: finalize pending installs.
+
+        Every broker classifies knowledge synchronously and queues the
+        sends; the ack is queued the same way at each hop and links are
+        FIFO — so by the time it arrives here, every update classified
+        under a union that lacked the installed subscription has arrived
+        too.  Event timestamps never exceed their publish sim-time, so
+        the local clock bounds every such suspect tick: finalizing
+        ``pfs_from`` at ``int(now)`` puts the whole span below the
+        coverage claim, where the client's reconnect refilters raw
+        events instead of trusting PFS silence.
+        """
+        due = [
+            (sub_id, entry)
+            for sub_id, entry in self._cover_pending.items()
+            if entry[0] is not None and entry[0] <= acked_epoch
+        ]
+        if not due:
+            return
+        floor = int(self.scheduler.now)
+        for sub_id, (refresh_epoch, handoff_id, epoch, send_end) in due:
+            del self._cover_pending[sub_id]
+            if epoch < self._migration_epoch(sub_id):
+                continue  # superseded while awaiting confirmation
+            if self.registry.get(sub_id) is None:
+                continue  # withdrawn while awaiting confirmation
+            self.registry.set_pfs_from(
+                sub_id, {p: floor for p in self.pubend_names}
+            )
+            self.meta_table.put(f"migrated_in:{sub_id}", epoch)
+
+            def installed_durable(
+                h: str = handoff_id, s: str = sub_id, e: int = epoch,
+                end: LinkEnd = send_end,
+            ) -> None:
+                if HOOKS.enabled:
+                    HOOKS.fire("migrate.install.durable", self.name)
+                # Report the (possibly regressed, epoch-bumped) floor
+                # eagerly: the sooner the root sees this SHB covering
+                # the subscription, the shorter the source's pin has
+                # to bridge.
+                self._report_release()
+                end.send(M.MigrateInstalled(h, s, e))
+
+            self.meta_table.commit()
+            self.registry.commit(installed_durable)
 
     def _handle_from_parent_batch(self, msgs: List[object]) -> None:
         """Batched uplink intake: fold every knowledge update of one
@@ -672,7 +1074,7 @@ class SubscriberHostingBroker(Broker):
             unknown = knowledge.unknown_up_to(frontier)
             self.head_curiosity[pubend].set_want(unknown)
 
-    def _refresh_subscriptions(self) -> None:
+    def _refresh_subscriptions(self, want_ack: bool = False) -> Optional[int]:
         """Epoch-tagged full-union refresh toward the parent.
 
         The receiving broker stages the epoch's adds and swaps them in
@@ -688,9 +1090,15 @@ class SubscriberHostingBroker(Broker):
         accept that silence as final.  Holding our tongue leaves the
         parent filtering with the pre-crash union, a superset of
         everything we might still host.
+
+        With ``want_ack`` the sync requests a downward
+        :class:`~repro.core.messages.SubscriptionSynced` once the epoch
+        is applied at the tree root (relayed hop by hop); returns this
+        refresh's epoch so the caller can wait for that ack, or None
+        when the refresh was suppressed.
         """
         if self.registry_suspect:
-            return
+            return None
         epoch = self._next_sub_epoch()
         count = 0
         for sub in self.registry.all():
@@ -700,7 +1108,8 @@ class SubscriberHostingBroker(Broker):
                 )
             )
             count += 1
-        self.send_up(M.SubscriptionSync(count, epoch=epoch))
+        self.send_up(M.SubscriptionSync(count, epoch=epoch, want_ack=want_ack))
+        return epoch
 
     def _commit_tables(self) -> None:
         self.meta_table.commit()
@@ -721,7 +1130,20 @@ class SubscriberHostingBroker(Broker):
             # post-crash recovery of this SHB will never replay.
             committed_ld = constream.committed_latest_delivered
             released = min(constream.released, committed_ld)
-            self.send_up(M.ReleaseUpdate(pubend, released, committed_ld))
+            pins = self._migration_pins.get(pubend)
+            if pins:
+                now = self.scheduler.now
+                pins[:] = [(exp, floor) for exp, floor in pins if exp > now]
+                if pins:
+                    released = min(released, *(floor for _exp, floor in pins))
+                else:
+                    del self._migration_pins[pubend]
+            self.send_up(
+                M.ReleaseUpdate(
+                    pubend, released, committed_ld,
+                    epoch=self._release_epoch_for(pubend),
+                )
+            )
             if released > 0:
                 self.pfs.chop_below(pubend, released + 1)
 
@@ -730,6 +1152,9 @@ class SubscriberHostingBroker(Broker):
     # ------------------------------------------------------------------
     def _on_node_crash(self) -> None:
         self._teardown_volatile()
+        self._migrating.clear()  # in-flight handoffs die with the node
+        self._migration_pins.clear()
+        self._cover_pending.clear()  # install retries restart confirmation
         self.disk.crash_reset()
         self.meta_table.crash_reset()
         self.pfs.crash_reset()
@@ -749,7 +1174,13 @@ class SubscriberHostingBroker(Broker):
         """
         known = {sub.num for sub in self.registry.all()}
         self.registry_suspect = bool(self.pfs.live_subscriber_nums() - known)
+        # Release epochs were volatile; restarting them at sim time keeps
+        # them monotone from the parent's point of view (its stored
+        # epochs are all below the crash time).
+        self._release_epoch = {}
+        self._release_epoch_floor = int(self.scheduler.now)
         self._build_volatile()
+        self._reconcile_migrations()
         self._refresh_subscriptions()
 
     def _maybe_clear_suspect(self) -> None:

@@ -35,6 +35,10 @@ class Overlay:
     shbs: List[SubscriberHostingBroker] = field(default_factory=list)
     intermediates: List[IntermediateBroker] = field(default_factory=list)
     links: List[Link] = field(default_factory=list)
+    #: Brokers removed from the tree by :func:`detach_broker`.  Kept
+    #: (rather than dropped) so the oracles can still audit their
+    #: final durable state after a drain.
+    retired: List[Broker] = field(default_factory=list)
 
     @property
     def pubend_names(self) -> List[str]:
@@ -48,6 +52,34 @@ class Overlay:
             if shb.name == name:
                 return shb
         raise ConfigurationError(f"no SHB named {name}")
+
+    def broker_by_name(self, name: str) -> Broker:
+        for broker in self.all_brokers():
+            if broker.name == name:
+                return broker
+        raise ConfigurationError(f"no broker named {name}")
+
+    def parent_of(self, broker: Broker) -> Optional[Broker]:
+        if broker.parent_name is None:
+            return None
+        return self.broker_by_name(broker.parent_name)
+
+    def link_between(self, parent: Broker, child: Broker) -> Link:
+        """The link whose endpoints are these two brokers' nodes.
+
+        Prefers a live link; falls back to a severed one (a detach must
+        find the link even if a fault already cut it).
+        """
+        found: Optional[Link] = None
+        for link in self.links:
+            ends = (link.a_to_b.sender, link.a_to_b.receiver)
+            if ends in ((parent.node, child.node), (child.node, parent.node)):
+                if not link.down:
+                    return link
+                found = link
+        if found is not None:
+            return found
+        raise ConfigurationError(f"no link {parent.name} <-> {child.name}")
 
 
 def _register_release_children(overlay: Overlay) -> None:
@@ -230,3 +262,157 @@ def build_tree(
         frontier = next_frontier
     _register_release_children(overlay)
     return overlay
+
+
+# ----------------------------------------------------------------------
+# Dynamic topology: incremental attach / detach on a running overlay
+# ----------------------------------------------------------------------
+def attach_shb(
+    overlay: Overlay,
+    name: str,
+    parent: Optional[Broker] = None,
+    cost_model: Optional[CostModel] = None,
+    link_latency_ms: float = 1.0,
+    batch_window_ms: float = 0.0,
+    fast_forward: bool = True,
+    **shb_kwargs: object,
+) -> SubscriberHostingBroker:
+    """Admit a new SHB under ``parent`` (default: the PHB) mid-run.
+
+    Before wiring, the fresh SHB is fast-forwarded to each pubend's
+    current dissemination point (it hosts no subscriptions, so it owes
+    no history to anyone) — otherwise its head gap check would nack the
+    entire past the moment knowledge starts flowing.  The parent's
+    release aggregator registers the new child, which holds the release
+    aggregate until the newcomer's first report arrives — a stall, never
+    an unsafe release.
+    """
+    parent = parent if parent is not None else overlay.phb
+    shb_kwargs.setdefault("batch_window_ms", batch_window_ms)
+    shb = SubscriberHostingBroker(
+        overlay.scheduler, name, overlay.pubend_names,
+        cost_model=cost_model, **shb_kwargs,
+    )
+    if fast_forward:
+        shb.fast_forward(
+            {p: overlay.phb.pubends[p].disseminated for p in overlay.pubend_names}
+        )
+    overlay.shbs.append(shb)
+    overlay.links.append(
+        Broker.connect(parent, shb, link_latency_ms, batch_window_ms=batch_window_ms)
+    )
+    for pubend in overlay.pubend_names:
+        parent.register_release_child(pubend, shb.name)  # type: ignore[union-attr]
+    return shb
+
+
+def attach_intermediate(
+    overlay: Overlay,
+    name: str,
+    parent: Optional[Broker] = None,
+    cost_model: Optional[CostModel] = None,
+    link_latency_ms: float = 1.0,
+    batch_window_ms: float = 0.0,
+) -> IntermediateBroker:
+    """Admit a new (childless) intermediate under ``parent`` mid-run."""
+    parent = parent if parent is not None else overlay.phb
+    mid = IntermediateBroker(overlay.scheduler, name, cost_model=cost_model)
+    overlay.intermediates.append(mid)
+    overlay.links.append(
+        Broker.connect(parent, mid, link_latency_ms, batch_window_ms=batch_window_ms)
+    )
+    # Unlike a fresh SHB (which owes nothing until it registers a
+    # subscription itself), a fresh intermediate may acquire a subtree
+    # at any moment via reparenting — and the parent filtering against
+    # its empty-but-warm union would convert that subtree's events to
+    # *final* silence until the intermediate's first upstream refresh.
+    # Cold passes knowledge unfiltered until the epoch sync warms it.
+    parent.child_filter_ready[mid.name] = False
+    for pubend in overlay.pubend_names:
+        parent.register_release_child(pubend, mid.name)  # type: ignore[union-attr]
+    return mid
+
+
+def detach_broker(overlay: Overlay, broker: Broker) -> None:
+    """Remove a (quiesced) leaf broker from the tree permanently.
+
+    The caller is responsible for the protocol-level drain — an SHB
+    must host no subscriptions, an intermediate no children; this is
+    the wiring-level removal: sever the uplink, forget both sides'
+    wiring, drop the departed child from the parent's release
+    aggregation (whose pinned minimum would otherwise freeze release
+    for the whole tree) and purge per-child relay state.  The broker
+    object moves to ``overlay.retired`` so oracles can still audit its
+    final durable state.
+    """
+    if isinstance(broker, SubscriberHostingBroker) and len(broker.registry):
+        raise ConfigurationError(
+            f"{broker.name} still hosts subscriptions; migrate them first"
+        )
+    if broker.child_names:
+        raise ConfigurationError(
+            f"{broker.name} still has children; reparent them first"
+        )
+    parent = overlay.parent_of(broker)
+    if parent is None:
+        raise ConfigurationError(f"{broker.name} has no parent to detach from")
+    link = overlay.link_between(parent, broker)
+    link.sever()
+    overlay.links.remove(link)
+    parent.unwire_child(broker.name)
+    broker.unwire_parent()
+    for pubend in overlay.pubend_names:
+        parent.unregister_release_child(pubend, broker.name)  # type: ignore[union-attr]
+    if isinstance(parent, IntermediateBroker):
+        parent.forget_child(broker.name)
+        parent._resend_release()
+    if isinstance(broker, SubscriberHostingBroker):
+        overlay.shbs.remove(broker)
+    else:
+        overlay.intermediates.remove(broker)  # type: ignore[arg-type]
+    overlay.retired.append(broker)
+
+
+def reparent_broker(
+    overlay: Overlay,
+    broker: Broker,
+    new_parent: Broker,
+    link_latency_ms: float = 1.0,
+    batch_window_ms: float = 0.0,
+) -> Link:
+    """Move ``broker`` (and its whole subtree) under ``new_parent``.
+
+    Used when draining an intermediate: its children hop up to the
+    grandparent.  The old uplink is severed and both sides unwired;
+    the new link's restore hooks plus the child's eager
+    ``_on_uplink_restored``-style resync (triggered here explicitly)
+    re-warm the new parent's filter union and release state.
+    """
+    old_parent = overlay.parent_of(broker)
+    if old_parent is not None:
+        link = overlay.link_between(old_parent, broker)
+        link.sever()
+        overlay.links.remove(link)
+        old_parent.unwire_child(broker.name)
+        for pubend in overlay.pubend_names:
+            old_parent.unregister_release_child(pubend, broker.name)  # type: ignore[union-attr]
+        if isinstance(old_parent, IntermediateBroker):
+            old_parent.forget_child(broker.name)
+            old_parent._resend_release()
+        broker.unwire_parent()
+    new_link = Broker.connect(
+        new_parent, broker, link_latency_ms, batch_window_ms=batch_window_ms
+    )
+    overlay.links.append(new_link)
+    # The new parent's union for this child starts *empty* but wiring
+    # marks it warm — it would D→S-filter every event the subtree's
+    # existing subscriptions are owed until the refresh lands.  Cold
+    # passes knowledge unfiltered (correct, merely unoptimized) until
+    # the child's epoch sync below warms it.
+    new_parent.child_filter_ready[broker.name] = False
+    for pubend in overlay.pubend_names:
+        new_parent.register_release_child(pubend, broker.name)  # type: ignore[union-attr]
+    # Eager resync toward the new parent: refresh the subscription
+    # union, re-report release floors, re-nack outstanding curiosity.
+    broker._on_uplink_restored()
+    return new_link

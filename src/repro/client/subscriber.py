@@ -88,6 +88,12 @@ class DurableSubscriber:
         self._pending_request: Optional[M.ConnectRequest] = None
         self._first_connect_done = False
         self.connected = False
+        #: Last ConnectRefused received, as ``(reason, redirect_to)``.
+        #: A refusal drops the connection; the application (or the
+        #: supervisor's redirect logic in the experiments) decides where
+        #: to reconnect — typically ``redirect_to``, the SHB a migrated
+        #: subscription now lives on.
+        self.last_refusal: Optional[Tuple[str, Optional[str]]] = None
         self._tracer = event_tracer(scheduler)
         self.stats = DeliveryStats()
         self.received_event_ids: List[str] = []
@@ -195,12 +201,22 @@ class DurableSubscriber:
     def _on_message(self, msg: object) -> None:
         if isinstance(msg, M.ConnectAccept):
             self._on_accept(msg)
+        elif isinstance(msg, M.ConnectRefused):
+            self._on_refused(msg)
         elif isinstance(msg, M.EventMessage):
             self._consume_event(msg)
         elif isinstance(msg, M.SilenceMessage):
             self._consume_marker(msg.pubend, msg.t, is_gap=False)
         elif isinstance(msg, M.GapMessage):
             self._consume_marker(msg.pubend, msg.t, is_gap=True)
+
+    def _on_refused(self, msg: M.ConnectRefused) -> None:
+        """The SHB cannot host us (draining, or we migrated away)."""
+        self.last_refusal = (msg.reason, msg.redirect_to)
+        link = self._link
+        self._drop_connection()
+        if link is not None:
+            link.sever()
 
     def _on_accept(self, msg: M.ConnectAccept) -> None:
         self._cancel_connect_retry()

@@ -334,6 +334,24 @@ class ConsolidatedStream:
             return self.latest_delivered
         return min(self.latest_delivered, min_sub)
 
+    def fast_forward(self, cursor: int) -> None:
+        """Supervised-join bootstrap: adopt ``cursor`` as already seen.
+
+        A freshly admitted SHB owes history to nobody (it hosts no
+        subscriptions yet); instead of nacking the pubend's entire past,
+        the supervisor hands it the current dissemination point and this
+        stream treats everything at or below it as consumed.  The caller
+        commits the meta table afterwards.
+        """
+        if cursor <= self.latest_delivered:
+            return
+        self.knowledge.consumed = max(self.knowledge.consumed, cursor)
+        self.knowledge.tickmap.forget_below(cursor + 1)
+        self.latest_delivered = cursor
+        self.meta_table.put(self._meta_key, cursor)
+        for fn in self._listeners:
+            fn(cursor)
+
     @property
     def committed_latest_delivered(self) -> int:
         """The crash-durable latestDelivered — where recovery resumes.

@@ -164,11 +164,22 @@ class ReleaseUpdate:
     ``released`` is the minimum released timestamp across the sender's
     subtree; ``latest_delivered`` the minimum latestDelivered(p).  The
     pubend's aggregated values are ``Tr(p)`` and ``Td(p)``.
+
+    ``epoch`` supports durable-subscriber migration: within one epoch a
+    child's reports are monotone (the aggregator clamps regressions as
+    resend noise), but installing a migrated subscription can
+    legitimately *lower* the destination SHB's minima.  The destination
+    bumps its epoch with the first post-install report, telling
+    aggregators to accept the regression.  Safe because the migration
+    protocol installs at the destination before the source withdraws,
+    so the global minimum never regresses below what the pubend already
+    released.
     """
 
     pubend: str
     released: int
     latest_delivered: int
+    epoch: int = 0
 
     @property
     def size_bytes(self) -> int:
@@ -225,10 +236,39 @@ class SubscriptionSync:
     lossy one a partial refresh leaves the child cold (unfiltered —
     safe) until a later refresh survives intact.  ``epoch=None`` keeps
     the legacy unconditional-warm behavior for hand-built tests.
+
+    ``want_ack`` requests a :class:`SubscriptionSynced` confirmation
+    once the refresh has been applied *at the tree root* — set by a
+    migration destination, whose PFS-coverage claim for the installed
+    subscription is only valid for ticks classified after every
+    upstream filter learned its predicate (see PROTOCOL.md §8).
     """
 
     sub_count: int
     epoch: Optional[int] = None
+    want_ack: bool = False
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES
+
+
+@dataclass
+class SubscriptionSynced:
+    """Downstream ack: an epoch-tagged refresh is applied root-to-here.
+
+    ``epoch`` is the highest refresh epoch of the receiving child that
+    the whole upstream chain has applied.  The PHB replies directly
+    when a ``want_ack`` sync warms; an intermediate broker forwards the
+    ack to its child only after its *own* covering refresh was acked
+    from above.  Every hop queues the ack behind already-classified
+    knowledge (same CPU queue, same FIFO link), so by the time the ack
+    arrives, every D→S classification made under the pre-refresh union
+    has arrived too — the receiver can bound the span in which upstream
+    silence is untrustworthy by its local clock at ack receipt.
+    """
+
+    epoch: int
 
     @property
     def size_bytes(self) -> int:
@@ -413,6 +453,142 @@ class PublishAck:
 
     publisher: str
     seq: int
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES
+
+
+@dataclass
+class ConnectRefused:
+    """The SHB refuses a connect it can no longer serve.
+
+    Sent when the subscription has been migrated away (``redirect_to``
+    names the destination SHB) or the SHB is draining and not admitting
+    new subscriptions (``redirect_to`` is None — the supervisor's
+    placement policy decides where the client should go).
+    """
+
+    sub_id: str
+    reason: str
+    redirect_to: Optional[str] = None
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES
+
+
+# ---------------------------------------------------------------------------
+# Supervisor <-> SHB migration control plane
+# ---------------------------------------------------------------------------
+# A durable-subscription handoff moves a subscription's identity,
+# predicate, released CT, JMS CT rows and per-pubend PFS cursor from a
+# source SHB to a destination SHB.  Every message carries the
+# supervisor-chosen ``handoff_id`` (unique per attempt) and ``epoch``
+# (strictly increasing per subscription across attempts); receivers use
+# the epoch to reject stale retries of superseded attempts, making the
+# whole flow idempotent under duplication, reordering and retransmission.
+#
+# Window ordering (the durability boundaries, each a crash-point site):
+#   1. source snapshots state           -> MigrateOffer
+#   2. dest installs + commits durable  -> MigrateInstalled
+#   3. source drops + tombstone durable -> MigrateDone
+# The destination installs *before* the source withdraws, so both
+# registries briefly hold the subscription — release-safe, because the
+# aggregated minimum over a superset of reporters is never larger.
+@dataclass
+class MigrateRequest:
+    """Supervisor asks the source SHB to snapshot a subscription."""
+
+    handoff_id: str
+    sub_id: str
+    epoch: int
+    dest: str
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES
+
+
+@dataclass
+class MigrateOffer:
+    """Source SHB's snapshot of the subscription's durable state.
+
+    ``found`` is False when the subscription does not exist at the
+    source (already migrated away, or never registered) — the payload
+    fields are then empty.  ``released_ct`` is the per-pubend released
+    CT from the registry (the exactly-once floor); ``pfs_from`` the
+    per-pubend PFS registration cursor below which the destination must
+    not trust its own PFS; ``jms_ct`` the subscription's durable JMS
+    checkpoint vector (pubend → consumed-up-to tick).
+    """
+
+    handoff_id: str
+    sub_id: str
+    epoch: int
+    found: bool = True
+    predicate: Optional[Predicate] = None
+    released_ct: Dict[str, int] = field(default_factory=dict)
+    pfs_from: Dict[str, int] = field(default_factory=dict)
+    jms_ct: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES + 64 + 16 * (len(self.released_ct) + len(self.pfs_from))
+
+
+@dataclass
+class MigrateInstall:
+    """Supervisor hands the snapshot to the destination SHB."""
+
+    handoff_id: str
+    sub_id: str
+    epoch: int
+    source: str
+    predicate: Optional[Predicate] = None
+    released_ct: Dict[str, int] = field(default_factory=dict)
+    pfs_from: Dict[str, int] = field(default_factory=dict)
+    jms_ct: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES + 64 + 16 * (len(self.released_ct) + len(self.pfs_from))
+
+
+@dataclass
+class MigrateInstalled:
+    """Destination SHB confirms the install is durably committed."""
+
+    handoff_id: str
+    sub_id: str
+    epoch: int
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES
+
+
+@dataclass
+class MigrateCommit:
+    """Supervisor tells the source to withdraw the subscription."""
+
+    handoff_id: str
+    sub_id: str
+    epoch: int
+    dest: str
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_HEADER_BYTES
+
+
+@dataclass
+class MigrateDone:
+    """Source SHB confirms the withdrawal (tombstone durable)."""
+
+    handoff_id: str
+    sub_id: str
+    epoch: int
 
     @property
     def size_bytes(self) -> int:

@@ -226,9 +226,18 @@ class Pubend:
     # ------------------------------------------------------------------
     # Release protocol
     # ------------------------------------------------------------------
-    def on_release_report(self, child: object, released: int, latest_delivered: int) -> None:
-        """Fold a downstream child's release report and try to release."""
-        self.release_agg.update(child, released, latest_delivered)
+    def on_release_report(
+        self, child: object, released: int, latest_delivered: int, epoch: int = 0
+    ) -> None:
+        """Fold a downstream child's release report and try to release.
+
+        ``epoch`` lets a child legitimately regress its minima after a
+        migrated subscription was installed under it; the released
+        bound itself stays monotone (:meth:`apply_release`), the
+        regression only prevents *future* release past the migrated
+        subscription's floor.
+        """
+        self.release_agg.update(child, released, latest_delivered, epoch=epoch)
         self.apply_release()
 
     def apply_release(self) -> int:

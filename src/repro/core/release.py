@@ -89,6 +89,7 @@ class ReleaseAggregator:
     def __init__(self, pubend: str) -> None:
         self.pubend = pubend
         self._children: Dict[Hashable, Optional[Tuple[int, int]]] = {}
+        self._child_epochs: Dict[Hashable, int] = {}
 
     def register_child(self, child: Hashable) -> None:
         """Declare a downstream child that will report release state."""
@@ -96,20 +97,39 @@ class ReleaseAggregator:
 
     def unregister_child(self, child: Hashable) -> None:
         self._children.pop(child, None)
+        self._child_epochs.pop(child, None)
 
-    def update(self, child: Hashable, released: int, latest_delivered: int) -> None:
-        """Fold in a child's :class:`~repro.core.messages.ReleaseUpdate`."""
+    def update(
+        self, child: Hashable, released: int, latest_delivered: int, epoch: int = 0
+    ) -> None:
+        """Fold in a child's :class:`~repro.core.messages.ReleaseUpdate`.
+
+        Within one epoch a child's minima are monotone, so lower values
+        are clamped away as resend/reorder noise.  A higher ``epoch``
+        signals a legitimate regression — a migrated subscription was
+        installed under this child, lowering its minima — and replaces
+        the stored values outright.  A *lower* epoch marks a stale
+        retransmission and is ignored entirely.
+        """
         if released > latest_delivered:
             raise ProtocolError(
                 f"release update violates Tr <= Td: {released} > {latest_delivered}"
             )
+        prev_epoch = self._child_epochs.get(child, 0)
+        if epoch < prev_epoch:
+            return
         previous = self._children.get(child)
-        if previous is not None:
+        if previous is not None and epoch == prev_epoch:
             # Reports are cumulative; a child may resend the same values
             # but must never regress (its own minima are monotone).
             released = max(released, previous[0])
             latest_delivered = max(latest_delivered, previous[1])
+        self._child_epochs[child] = epoch
         self._children[child] = (released, latest_delivered)
+
+    def child_epoch(self, child: Hashable) -> int:
+        """The latest release epoch reported by ``child`` (0 = none)."""
+        return self._child_epochs.get(child, 0)
 
     def aggregate(self) -> Optional[Tuple[int, int]]:
         """``(min released, min latestDelivered)`` over all children."""

@@ -117,6 +117,28 @@ class SubscriptionRegistry:
         self._subs_table.put(sub_id, (sub.num, predicate, dict(sub.pfs_from)))
         return sub
 
+    def set_pfs_from(self, sub_id: str, pfs_from: Dict[str, int]) -> None:
+        """Raise the row's PFS-coverage cursors (monotone, persisted).
+
+        A migration destination finalizes its coverage claim only after
+        the subscription's filter is confirmed applied at the tree root
+        (see SHB._on_subscription_synced); the raised cursors must reach
+        the same row the recovery path reloads, so the row is rewritten.
+        The caller commits.
+        """
+        sub = self._subs.get(sub_id)
+        if sub is None:
+            raise SubscriptionError(f"unknown subscription {sub_id}")
+        changed = False
+        for pubend, t in pfs_from.items():
+            if t > sub.pfs_from.get(pubend, 0):
+                sub.pfs_from[pubend] = t
+                changed = True
+        if changed:
+            self._subs_table.put(
+                sub_id, (sub.num, sub.predicate, dict(sub.pfs_from))
+            )
+
     def drop(self, sub_id: str) -> None:
         """Destroy a durable subscription (unsubscribe)."""
         sub = self._subs.pop(sub_id, None)

@@ -82,6 +82,9 @@ class CheckpointCommitService:
         shb.register_client_extension(JMSCommitRequest, self._on_commit_request)
         shb.register_client_extension(JMSCTLookup, self._on_lookup)
         shb.node.on_crash(self._on_crash)
+        # Back-reference for durable-subscriber migration: the SHB's
+        # handoff flow exports/installs the CT rows through us.
+        shb.ct_service = self
 
     # ------------------------------------------------------------------
     # Request intake
@@ -155,6 +158,30 @@ class CheckpointCommitService:
         self._busy[conn] = False
         if self._pending[conn]:
             self._start_cycle(conn)
+
+    # ------------------------------------------------------------------
+    # Migration handoff (see SubscriberHostingBroker._on_migrate_*)
+    # ------------------------------------------------------------------
+    def export_ct(self, sub_id: str) -> Dict[str, int]:
+        """The subscription's durable CT vector, for a migration offer."""
+        return dict(self.table.get(sub_id, {}))
+
+    def install_ct(self, sub_id: str, ct: Dict[str, int]) -> None:
+        """Adopt a migrated-in CT vector, monotonically.
+
+        Monotone merge makes a retried install idempotent, and never
+        regresses a CT the (re)connected subscriber may have advanced
+        here in the meantime.
+        """
+        stored = dict(self.table.get(sub_id, {}))
+        changed = False
+        for pubend, t in ct.items():
+            if t > stored.get(pubend, -1):
+                stored[pubend] = t
+                changed = True
+        if changed:
+            self.table.put(sub_id, stored)
+            self.table.commit()
 
     # ------------------------------------------------------------------
     # Failure handling

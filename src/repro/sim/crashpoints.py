@@ -172,11 +172,18 @@ class _Scenario:
     publisher: object
     truth: Dict[str, Tuple[int, Dict[str, object]]]   # eid -> (tick, attrs)
     schedule: object
-    knowledge_probe: object
+    knowledge_probe: object                           # one probe or a list
     record_truth: Callable[[], None]
+    publish_until_ms: float = PUBLISH_UNTIL_MS
+    script_end_ms: float = SCRIPT_END_MS
+    #: Extra scenario-specific convergence condition (e.g. "the drain
+    #: detached and every migration finished").
+    settled_extra: Optional[Callable[[], bool]] = None
 
     def broker_of(self, owner: Optional[str]) -> Optional[object]:
-        for broker in self.overlay.all_brokers():
+        brokers = list(self.overlay.all_brokers())
+        brokers.extend(getattr(self.overlay, "retired", []))
+        for broker in brokers:
             if broker.name == owner:
                 return broker
         return None
@@ -285,9 +292,10 @@ def _advance(scn: _Scenario, until: float, on_crash) -> None:
 
 
 def _run_script(scn: _Scenario, on_crash) -> None:
-    # The feeder stops itself at PUBLISH_UNTIL_MS; the remaining window
-    # lets releases, chops and retransmissions play out under hooks.
-    _advance(scn, SCRIPT_END_MS, on_crash)
+    # The feeder stops itself at the scenario's publish cutoff; the
+    # remaining window lets releases, chops and retransmissions (and,
+    # in the migration scenario, the drain) play out under hooks.
+    _advance(scn, scn.script_end_ms, on_crash)
 
 
 def _converge(scn: _Scenario, grace_ms: float, on_crash) -> Optional[float]:
@@ -295,10 +303,12 @@ def _converge(scn: _Scenario, grace_ms: float, on_crash) -> Optional[float]:
 
     Returns the convergence time, or None if the grace deadline passed.
     """
-    deadline = SCRIPT_END_MS + grace_ms
+    deadline = scn.script_end_ms + grace_ms
 
     def settled() -> bool:
         if scn.publisher.unacknowledged:
+            return False
+        if scn.settled_extra is not None and not scn.settled_extra():
             return False
         for sub in scn.subscribers:
             if not sub.connected:
@@ -316,13 +326,166 @@ def _converge(scn: _Scenario, grace_ms: float, on_crash) -> Optional[float]:
         _advance(scn, min(scn.sim.now + 250.0, deadline), on_crash)
 
 
+#: Publish cutoff / script end for the dynamic-topology scenario.  The
+#: tail is long enough for the drain's detach grace (the drained SHB
+#: keeps reporting releases for ~2.5 s after its last row drops).
+MIGRATION_PUBLISH_UNTIL_MS = 2_600.0
+MIGRATION_SCRIPT_END_MS = 6_500.0
+
+
+def _build_migration_scenario():
+    """Join → mid-catchup migration → drain, under the hook census.
+
+    Exercises every ``migrate.*`` durability boundary plus the storage
+    boundaries the handoff crosses (registry, meta-table and CT commits
+    on both SHBs) on a PHB → 2-SHB star that grows a third SHB
+    mid-script: the victim subscriber naps, reconnects into catchup,
+    migrates to the newcomer while its catchup is still streaming, and
+    the source broker is then drained into the newcomer and detached.
+    A redirect-aware reconnect supervisor follows the
+    ``ConnectRefused`` redirects that migrated/drained clients receive.
+    """
+    from ..broker.topology import build_star
+    from ..client.publisher import ReliablePublisher
+    from ..client.subscriber import DurableSubscriber
+    from ..matching.predicates import In
+    from ..net.node import Node
+    from ..net.simtime import Scheduler
+    from .failures import FailureSchedule
+    from .oracles import KnowledgeMonotonicityProbe
+    from .supervisor import Supervisor
+
+    sim = Scheduler()
+    overlay = build_star(sim, ["P1"], 2)
+    source, other = overlay.shbs
+
+    subscribers = []
+    homes = [source, source, other]
+    for i, shb in enumerate(homes):
+        machine = Node(sim, f"mgx-m{i + 1}")
+        sub = DurableSubscriber(
+            sim, f"mgx-s{i + 1}", machine, In("group", [i % 3, (i + 1) % 3]),
+            record_events=True, connect_retry_ms=400.0,
+        )
+        sub.connect(shb)
+        subscribers.append(sub)
+    victim = subscribers[0]
+    home = {sub.sub_id: shb for sub, shb in zip(subscribers, homes)}
+    napping: set = set()
+
+    publisher = ReliablePublisher(
+        sim, overlay.phb, Node(sim, "mgx-pub-machine"), "mgx-pub", "P1",
+        retransmit_ms=400.0,
+    )
+
+    def feed(count=[0]) -> None:  # noqa: B006 - deliberate mutable default
+        if sim.now < MIGRATION_PUBLISH_UNTIL_MS:
+            publisher.publish({"group": count[0] % 3})
+            count[0] += 1
+
+    sim.every(1000.0 / 150.0, feed)
+
+    truth: Dict[str, Tuple[int, Dict[str, object]]] = {}
+
+    def record_truth() -> None:
+        log = overlay.phb.pubends["P1"].log
+        for ev in log.read_range(0, 2 ** 60):
+            truth.setdefault(ev.event_id, (ev.timestamp, ev.attributes))
+
+    sim.every(50.0, record_truth)
+
+    schedule = FailureSchedule(sim)
+    probes = [
+        KnowledgeMonotonicityProbe(sim, shb, ["P1"], interval_ms=100.0)
+        for shb in overlay.shbs
+    ]
+
+    supervisor = Supervisor(overlay)
+    joined: Dict[str, object] = {}
+    drained: Dict[str, object] = {}
+
+    def _nap() -> None:
+        napping.add(victim.sub_id)
+        victim.disconnect()
+
+    def _join() -> None:
+        joiner = supervisor.join_shb("mgx-joiner")
+        joined["shb"] = joiner
+        probes.append(
+            KnowledgeMonotonicityProbe(sim, joiner, ["P1"], interval_ms=100.0)
+        )
+
+    def _wake() -> None:
+        napping.discard(victim.sub_id)
+        if not victim.connected and not victim.node.is_down:
+            shb = home[victim.sub_id]
+            if not shb.node.is_down:
+                victim.connect(shb)
+
+    def _migrate() -> None:
+        supervisor.migrate(victim.sub_id, source, joined["shb"])
+
+    def _drain() -> None:
+        drained["handle"] = supervisor.drain_shb(source, joined["shb"])
+
+    sim.at(500.0, _nap)
+    sim.at(800.0, _join)
+    sim.at(1_500.0, _wake)
+    sim.at(1_560.0, _migrate)
+    sim.at(2_700.0, _drain)
+
+    def supervise() -> None:
+        for sub in subscribers:
+            if sub.connected or sub.node.is_down or sub.sub_id in napping:
+                continue
+            if sub.last_refusal is not None:
+                _reason, redirect = sub.last_refusal
+                sub.last_refusal = None
+                if redirect is not None:
+                    for shb in overlay.shbs:
+                        if shb.name == redirect:
+                            home[sub.sub_id] = shb
+                            break
+            shb = home[sub.sub_id]
+            if not shb.node.is_down:
+                sub.connect(shb)
+
+    sim.every(331.0, supervise)
+
+    def settled_extra() -> bool:
+        handle = drained.get("handle")
+        return (
+            handle is not None
+            and handle.detached
+            and all(m.done for m in supervisor.migrations)
+        )
+
+    return _Scenario(
+        sim=sim, overlay=overlay, subscribers=subscribers,
+        publisher=publisher, truth=truth, schedule=schedule,
+        knowledge_probe=probes, record_truth=record_truth,
+        publish_until_ms=MIGRATION_PUBLISH_UNTIL_MS,
+        script_end_ms=MIGRATION_SCRIPT_END_MS,
+        settled_extra=settled_extra,
+    )
+
+
+#: Scenario registry: name -> builder.  ``storage`` is the original
+#: two-broker script over the storage stack; ``migration`` adds the
+#: dynamic-topology handoff windows (``migrate.*`` hook sites).
+SCENARIOS: Dict[str, Callable[[], _Scenario]] = {
+    "storage": _build_scenario,
+    "migration": _build_migration_scenario,
+}
+
+
 # ----------------------------------------------------------------------
 # Census, selection, exploration
 # ----------------------------------------------------------------------
-def census() -> List[CrashPoint]:
+def census(scenario: str = "storage") -> List[CrashPoint]:
     """Enumerate every boundary firing in the scripted scenario."""
     listener = _CensusListener()
-    scn = _build_scenario()
+    scn = SCENARIOS[scenario]()
     HOOKS.install(listener)
     try:
         _run_script(scn, on_crash=lambda point: None)
@@ -437,10 +600,13 @@ def _check_oracles(scn: _Scenario) -> List[str]:
 
 
 def _explore_one(
-    point: CrashPoint, down_ms: float, grace_ms: float
+    point: CrashPoint,
+    down_ms: float,
+    grace_ms: float,
+    builder: Callable[[], _Scenario] = _build_scenario,
 ) -> CrashOutcome:
     """Replay the scenario, crash at ``point``, recover, run oracles."""
-    scn = _build_scenario()
+    scn = builder()
     listener = _InjectListener(point.seq)
     crashed: List[str] = []
 
@@ -489,16 +655,25 @@ def explore(
     down_ms: float = 450.0,
     grace_ms: float = 20_000.0,
     progress: Optional[Callable[[int, int, CrashOutcome], None]] = None,
+    scenario: str = "storage",
+    sites: Optional[List[str]] = None,
 ) -> ExplorationSummary:
     """Census the scenario, then crash it at (a stratified subset of)
     every enumerated boundary and oracle-check each recovery.
 
+    ``scenario`` names a :data:`SCENARIOS` entry; ``sites`` optionally
+    restricts the injected points to those whose site name starts with
+    one of the given prefixes (e.g. ``["migrate."]`` sweeps only the
+    handoff boundaries — the census still enumerates everything, so the
+    injection prefix stays deterministic).
+
     The baseline (no-crash) run is oracle-checked too: a violation
     there means the scenario itself is broken, not recovery.
     """
-    points = census()
+    builder = SCENARIOS[scenario]
+    points = census(scenario)
 
-    baseline = _build_scenario()
+    baseline = builder()
     _run_script(baseline, on_crash=lambda point: None)
     baseline_converged = _converge(
         baseline, grace_ms, on_crash=lambda point: None
@@ -507,10 +682,16 @@ def explore(
     if baseline_converged is None:
         baseline_violations.append("baseline run did not converge")
 
-    selected = select_points(points, max_points)
+    candidates = points
+    if sites:
+        candidates = [
+            p for p in points
+            if any(p.site.startswith(prefix) for prefix in sites)
+        ]
+    selected = select_points(candidates, max_points)
     outcomes: List[CrashOutcome] = []
     for i, point in enumerate(selected):
-        outcome = _explore_one(point, down_ms, grace_ms)
+        outcome = _explore_one(point, down_ms, grace_ms, builder)
         outcomes.append(outcome)
         if progress is not None:
             progress(i + 1, len(selected), outcome)
@@ -541,6 +722,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="post-script convergence grace window")
     parser.add_argument("--out", type=str, default=None,
                         help="write the JSON summary here")
+    parser.add_argument(
+        "--scenario", choices=sorted(SCENARIOS), default="storage",
+        help="which scripted scenario to sweep (default: storage)",
+    )
+    parser.add_argument(
+        "--sites", type=str, default=None,
+        help="comma-separated site-name prefixes to restrict injections "
+        'to (e.g. "migrate." sweeps only the handoff boundaries)',
+    )
     args = parser.parse_args(argv)
 
     def progress(done: int, total: int, outcome: CrashOutcome) -> None:
@@ -550,9 +740,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             for v in outcome.violations:
                 print(f"    {v}")
 
+    sites = (
+        [s for s in args.sites.split(",") if s] if args.sites else None
+    )
     summary = explore(
         max_points=args.max_points, down_ms=args.down_ms,
         grace_ms=args.grace_ms, progress=progress,
+        scenario=args.scenario, sites=sites,
     )
     blob = summary.to_json()
     print(json.dumps({k: blob[k] for k in (

@@ -580,6 +580,7 @@ class ChaosSoakResult:
     curiosity: Dict[str, int] = field(default_factory=dict)
     disk: Dict[str, int] = field(default_factory=dict)
     longest_stall_ms: float = 0.0
+    stalled_subscribers: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -626,7 +627,7 @@ def run_chaos_soak(
     """
     from ..client.publisher import PeriodicPublisher  # noqa: F401  (re-export convenience)
     from ..net.link import link_stats
-    from .failures import ChaosSchedule, ProgressWatchdog
+    from .failures import ChaosSchedule, PerSubscriberWatchdog, ProgressWatchdog
 
     fault_horizon = duration_ms * 0.6
     quiet_start = fault_horizon + max_down_ms + 2_500.0
@@ -702,6 +703,13 @@ def run_chaos_soak(
         )
         for shb in overlay.shbs
     ]
+    # Per-subscriber progress: an aggregate probe hides one wedged
+    # subscriber behind everyone else's advance.
+    sub_watchdog = PerSubscriberWatchdog(
+        sim,
+        {s.sub_id: (lambda s=s: float(s.stats.events)) for s in subscribers},
+        interval_ms=250.0,
+    )
 
     chaos = ChaosSchedule(
         sim, seed,
@@ -748,6 +756,7 @@ def run_chaos_soak(
     truth_timer.cancel()
     for wd in watchdogs:
         wd.stop()
+    sub_watchdog.stop()
 
     violations: List[str] = []
     for sub in subscribers:
@@ -785,6 +794,20 @@ def run_chaos_soak(
                 f"watchdog {wd.name}: no forward progress in the quiet tail"
                 f" [{quiet_start:.0f}, {duration_ms:.0f}] ms"
             )
+    # "Behind" is judged against each subscriber's *own* expected set —
+    # predicates differ, so raw event counts are not comparable across
+    # subscribers.
+    behind = {
+        sub.sub_id
+        for sub in subscribers
+        if _expected(sub) - sub.received_event_id_set
+    }
+    stalled = sub_watchdog.stalled_subscribers(quiet_start, duration_ms, behind=behind)
+    for name in stalled:
+        violations.append(
+            f"subscriber {name}: no forward progress in the quiet tail"
+            f" [{quiet_start:.0f}, {duration_ms:.0f}] ms and still missing events"
+        )
 
     curiosity_counters = {"nacks_sent": 0, "renacks": 0, "budget_suppressed": 0}
     for shb in overlay.shbs:
@@ -813,6 +836,312 @@ def run_chaos_soak(
         curiosity=curiosity_counters,
         disk=disk_counters,
         longest_stall_ms=max((wd.longest_stall_ms for wd in watchdogs), default=0.0),
+        stalled_subscribers=stalled,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Migration soak (dynamic-topology robustness harness; not a paper figure)
+# ---------------------------------------------------------------------------
+@dataclass
+class MigrationSoakResult:
+    """Outcome of one seeded dynamic-topology soak.
+
+    ``violations`` is the verdict — empty means every oracle family
+    (exactly-once, completeness, gap honesty, PFS chain integrity,
+    chop agreement, knowledge monotonicity) held across the join, the
+    mid-catchup migration and the drain.  The rest is context: what
+    moved where, which faults fired inside the handoff windows, and
+    when the run converged.
+    """
+
+    seed: int
+    duration_ms: float
+    converged_at_ms: Optional[float]
+    events_published: int
+    events_delivered: int
+    joined_shb: str
+    drained_shb: str
+    migrated_mid_catchup: str
+    migrations: int
+    migrations_done: int
+    source_detached: bool
+    faults: List[object]
+    violations: List[str]
+    stalled_subscribers: List[str] = field(default_factory=list)
+    final_placement: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def run_migration_soak(
+    seed: int,
+    duration_ms: float = 24_000.0,
+    n_shbs: int = 2,
+    subs_per_shb: int = 2,
+    spec: Optional[PaperWorkloadSpec] = None,
+    with_faults: bool = True,
+    grace_ms: float = 30_000.0,
+) -> MigrationSoakResult:
+    """Seeded dynamic-topology soak: join, migrate mid-catchup, drain.
+
+    The scripted sequence over a PHB → ``n_shbs`` SHB star:
+
+    1. one durable subscriber (the *victim*) naps at 15% of the run so
+       a backlog accumulates, and reconnects at 40% — entering catchup;
+    2. a fresh SHB joins the running overlay at 25%
+       (:meth:`~repro.sim.supervisor.Supervisor.join_shb`);
+    3. at 42% the victim — still catching up — is migrated from its
+       home SHB to the newcomer while the ``"during-migration"`` fault
+       phase crashes/lossifies the source, the destination and their
+       uplinks inside the handoff window;
+    4. at 58% the source SHB is drained into the newcomer (remaining
+       subscriptions migrate, the broker detaches) under a
+       ``"during-drain"`` loss phase;
+    5. publishing stops at 80% and the run converges through a quiet
+       tail (extended up to ``grace_ms``).
+
+    Refused clients follow the ``ConnectRefused`` redirect to the
+    subscription's new home; every oracle family from
+    :mod:`repro.sim.oracles` is checked at the end (the retired source
+    included), plus per-subscriber progress watchdogs.
+    """
+    from .failures import ChaosSchedule, PerSubscriberWatchdog
+    from .oracles import KnowledgeMonotonicityProbe, check_all
+    from .supervisor import Supervisor
+
+    spec = spec or PaperWorkloadSpec(input_rate=200.0, n_pubends=2)
+    pubends = spec.pubend_names()
+    sim = Scheduler()
+    overlay = build_star(
+        sim, pubends, n_shbs,
+        nack_backoff_factor=2.0,
+        nack_backoff_max_ms=4_000.0,
+        nack_jitter_ms=20.0,
+        nack_retry_budget=64,
+    )
+    source = overlay.shbs[0]
+    publishers = make_publishers(sim, overlay.phb, spec)
+
+    subscribers: List[DurableSubscriber] = []
+    home: Dict[str, object] = {}
+    napping: Set[str] = set()
+    for s_idx, shb in enumerate(overlay.shbs):
+        for j in range(subs_per_shb):
+            i = s_idx * subs_per_shb + j
+            sub = DurableSubscriber(
+                sim, f"ms{i + 1}", Node(sim, f"mig-m{i + 1}"),
+                spec.subscriber_predicate(i),
+                record_events=True, connect_retry_ms=400.0,
+            )
+            sub.connect(shb)
+            subscribers.append(sub)
+            home[sub.sub_id] = shb
+    victim = subscribers[0]  # hosted by ``source``
+
+    # Redirect-aware reconnect supervision: a subscriber dropped by a
+    # crash reconnects to its recorded home; one refused with a
+    # redirect (migrated away, or its home drained) re-homes first.
+    def _shb_named(name: str) -> Optional[object]:
+        for shb in overlay.shbs:
+            if shb.name == name:
+                return shb
+        return None
+
+    def _supervise() -> None:
+        for sub in subscribers:
+            if sub.connected or sub.node.is_down or sub.sub_id in napping:
+                continue
+            if sub.last_refusal is not None:
+                _reason, redirect = sub.last_refusal
+                sub.last_refusal = None
+                if redirect is not None:
+                    target = _shb_named(redirect)
+                    if target is not None:
+                        home[sub.sub_id] = target
+            shb = home[sub.sub_id]
+            if not shb.node.is_down:
+                sub.connect(shb)
+
+    supervise_timer = sim.every(331.0, _supervise)
+
+    truth: Dict[str, Dict[str, Tuple[int, Mapping[str, object]]]] = {
+        p: {} for p in pubends
+    }
+
+    def _record_truth() -> None:
+        for p in pubends:
+            for ev in overlay.phb.pubends[p].log.read_range(0, 2**60):
+                truth[p].setdefault(ev.event_id, (ev.timestamp, ev.attributes))
+
+    truth_timer = sim.every(100.0, _record_truth)
+
+    sub_watchdog = PerSubscriberWatchdog(
+        sim,
+        {s.sub_id: (lambda s=s: float(s.stats.events)) for s in subscribers},
+        interval_ms=250.0,
+    )
+    probes = [
+        KnowledgeMonotonicityProbe(sim, shb, pubends, interval_ms=250.0)
+        for shb in overlay.shbs
+    ]
+
+    chaos = ChaosSchedule(
+        sim, seed, brokers=overlay.all_brokers(), links=list(overlay.links)
+    )
+    supervisor = Supervisor(overlay)
+    joined: Dict[str, object] = {}
+    drained: Dict[str, object] = {}
+
+    t_nap = duration_ms * 0.15
+    t_join = duration_ms * 0.25
+    t_wake = duration_ms * 0.40
+    # Close enough to the wake-up that the victim's catchup (a backlog
+    # of a quarter of the run) is still streaming when the handoff
+    # starts — the acceptance scenario is "migrate mid-catchup".
+    t_migrate = t_wake + 120.0
+    t_drain = duration_ms * 0.58
+    publish_until = duration_ms * 0.8
+
+    def _nap() -> None:
+        napping.add(victim.sub_id)
+        victim.disconnect()
+
+    def _join() -> None:
+        joiner = supervisor.join_shb(
+            "shb-joiner",
+            nack_backoff_factor=2.0,
+            nack_backoff_max_ms=4_000.0,
+            nack_jitter_ms=20.0,
+            nack_retry_budget=64,
+        )
+        joined["shb"] = joiner
+        probes.append(
+            KnowledgeMonotonicityProbe(sim, joiner, pubends, interval_ms=250.0)
+        )
+        if with_faults:
+            uplinks = [
+                overlay.link_between(overlay.phb, source),
+                overlay.link_between(overlay.phb, joiner),
+            ]
+            chaos.plan_phase(
+                "during-migration", crashes=1, loss_bursts=2,
+                window_ms=900.0, max_down_ms=450.0,
+                brokers=[source, joiner], links=uplinks,
+            )
+            chaos.plan_phase(
+                "during-drain", loss_bursts=2,
+                window_ms=1_200.0, max_down_ms=450.0, links=uplinks,
+            )
+
+    def _wake() -> None:
+        napping.discard(victim.sub_id)
+        if not victim.connected and not victim.node.is_down:
+            shb = home[victim.sub_id]
+            if not shb.node.is_down:
+                victim.connect(shb)
+
+    def _migrate() -> None:
+        chaos.mark_phase("during-migration")
+        supervisor.migrate(victim.sub_id, source, joined["shb"])
+
+    def _drain() -> None:
+        chaos.mark_phase("during-drain")
+        drained["handle"] = supervisor.drain_shb(source, joined["shb"])
+
+    sim.at(t_nap, _nap)
+    sim.at(t_join, _join)
+    sim.at(t_wake, _wake)
+    sim.at(t_migrate, _migrate)
+    sim.at(t_drain, _drain)
+
+    sim.run_until(publish_until)
+    for pub in publishers:
+        pub.stop()
+    sim.run_until(duration_ms)
+
+    def _expected(sub: DurableSubscriber) -> Dict[str, int]:
+        return {
+            eid: ts
+            for p in pubends
+            for eid, (ts, attrs) in truth[p].items()
+            if sub.predicate.matches(attrs)
+        }
+
+    def _settled() -> bool:
+        handle = drained.get("handle")
+        if handle is None or not handle.detached:
+            return False
+        if any(not m.done for m in supervisor.migrations):
+            return False
+        return all(s.connected for s in subscribers) and all(
+            set(_expected(s)) <= s.received_event_id_set for s in subscribers
+        )
+
+    deadline = duration_ms + grace_ms
+    converged_at: Optional[float] = None
+    while True:
+        if _settled():
+            converged_at = sim.now
+            break
+        if sim.now >= deadline:
+            break
+        sim.run_until(min(sim.now + 500.0, deadline))
+
+    chaos.stop()
+    supervise_timer.cancel()
+    truth_timer.cancel()
+    sub_watchdog.stop()
+    _record_truth()
+
+    truth_ids = {eid for p in pubends for eid in truth[p]}
+    violations = check_all(
+        overlay=overlay,
+        subscribers=subscribers,
+        expected_of=_expected,
+        knowledge_probe=probes,
+        truth_ids=truth_ids,
+    )
+    handle = drained.get("handle")
+    if handle is None or not handle.detached:
+        violations.append(f"{source.name}: drain never detached the broker")
+    if any(not m.done for m in supervisor.migrations):
+        undone = [m.handoff_id for m in supervisor.migrations if not m.done]
+        violations.append(f"unfinished migrations: {undone}")
+    if converged_at is None:
+        violations.append(
+            f"no convergence within {grace_ms:.0f} ms grace after the run"
+        )
+    behind = {
+        sub.sub_id
+        for sub in subscribers
+        if set(_expected(sub)) - sub.received_event_id_set
+    }
+    stalled = sub_watchdog.stalled_subscribers(t_drain, publish_until, behind=behind)
+    for name in stalled:
+        violations.append(
+            f"subscriber {name}: no forward progress in"
+            f" [{t_drain:.0f}, {publish_until:.0f}] ms and still missing events"
+        )
+
+    return MigrationSoakResult(
+        seed=seed,
+        duration_ms=duration_ms,
+        converged_at_ms=converged_at,
+        events_published=sum(p.published for p in publishers),
+        events_delivered=sum(s.stats.events for s in subscribers),
+        joined_shb="shb-joiner",
+        drained_shb=source.name,
+        migrated_mid_catchup=victim.sub_id,
+        migrations=len(supervisor.migrations),
+        migrations_done=sum(1 for m in supervisor.migrations if m.done),
+        source_detached=bool(handle is not None and handle.detached),
+        faults=list(chaos.records),
+        violations=violations,
+        stalled_subscribers=stalled,
+        final_placement=supervisor.placement(),
     )
 
 

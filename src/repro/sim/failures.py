@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 from ..broker.base import Broker
 from ..net.link import FaultSpec, Link
@@ -194,6 +194,7 @@ class ChaosSchedule(FailureSchedule):
         self.links = list(links)
         self.client_nodes = list(client_nodes)
         self.rng = random.Random(f"chaos:{seed}")
+        self._phase_plans: dict = {}
 
     def generate(
         self,
@@ -248,6 +249,83 @@ class ChaosSchedule(FailureSchedule):
                 break
             at, down = window(max_down_ms)
             self.crash_node(rng.choice(self.client_nodes), at, down)
+
+    # ------------------------------------------------------------------
+    # Phase-relative triggers
+    # ------------------------------------------------------------------
+    # Dynamic-topology runs have windows whose absolute position is not
+    # known when the schedule is built — "while the handoff is in
+    # flight" starts whenever the supervisor starts it.  A phase plan is
+    # registered up front (so the draw order is fixed by seed + phase
+    # name, independent of when — or whether — the phase occurs) and
+    # armed by ``mark_phase`` at the moment the run enters the phase:
+    # every fault lands at now + a bounded offset.
+    def plan_phase(
+        self,
+        phase: str,
+        crashes: int = 0,
+        partitions: int = 0,
+        loss_bursts: int = 0,
+        window_ms: float = 1_500.0,
+        max_down_ms: float = 600.0,
+        brokers: Optional[Sequence[Broker]] = None,
+        links: Optional[Sequence[Link]] = None,
+    ) -> None:
+        """Register a named fault phase (e.g. ``"during-migration"``).
+
+        ``brokers``/``links`` narrow the target pool — a migration
+        phase typically aims at the source SHB, destination SHB and
+        their uplinks rather than the whole overlay.
+        """
+        self._phase_plans[phase] = {
+            "crashes": crashes,
+            "partitions": partitions,
+            "loss_bursts": loss_bursts,
+            "window_ms": window_ms,
+            "max_down_ms": max_down_ms,
+            "brokers": list(brokers) if brokers is not None else None,
+            "links": list(links) if links is not None else None,
+            "rng": random.Random(f"chaos:{self.seed}:{phase}"),
+        }
+
+    def mark_phase(self, phase: str) -> None:
+        """Enter a planned phase now: schedule its faults relative to now.
+
+        Marking an unplanned phase is a no-op; marking the same phase
+        again draws fresh faults from the phase's own RNG (deterministic
+        per seed and per marking order within the phase).
+        """
+        plan = self._phase_plans.get(phase)
+        if plan is None:
+            return
+        rng = plan["rng"]
+        now = self.scheduler.now
+        brokers = plan["brokers"] if plan["brokers"] is not None else self.brokers
+        links = plan["links"] if plan["links"] is not None else self.links
+        for _ in range(plan["crashes"]):
+            if not brokers:
+                break
+            at = now + rng.uniform(0.0, plan["window_ms"])
+            down = rng.uniform(100.0, plan["max_down_ms"])
+            self.crash_broker(rng.choice(brokers), at, down)
+        for _ in range(plan["partitions"]):
+            if not links:
+                break
+            at = now + rng.uniform(0.0, plan["window_ms"])
+            down = rng.uniform(100.0, plan["max_down_ms"])
+            self.partition_link(rng.choice(links), at, down)
+        for _ in range(plan["loss_bursts"]):
+            if not links:
+                break
+            at = now + rng.uniform(0.0, plan["window_ms"])
+            length = rng.uniform(100.0, plan["window_ms"])
+            spec = FaultSpec(
+                drop_p=rng.uniform(0.02, 0.25),
+                dup_p=rng.uniform(0.0, 0.10),
+                reorder_p=rng.uniform(0.0, 0.20),
+                reorder_max_ms=rng.uniform(1.0, 8.0),
+            )
+            self.loss_burst(rng.choice(links), at, length, spec, seed=self.seed)
 
 
 class ProgressWatchdog:
@@ -313,3 +391,60 @@ class ProgressWatchdog:
     def longest_stall_ms(self) -> float:
         windows = self.stalled_windows()
         return max((end - start for start, end in windows), default=0.0)
+
+
+class PerSubscriberWatchdog:
+    """Per-subscriber progress tracking for chaos soaks.
+
+    An aggregate probe (max delivered over all subscribers) hides the
+    failure mode dynamic topology introduces: one migrated subscriber
+    silently wedged while everyone else advances.  This samples one
+    monotone probe *per subscriber* (typically its consumed-CT maximum)
+    and reports the laggards.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        probes: "dict[str, Callable[[], float]]",
+        interval_ms: float = 500.0,
+    ) -> None:
+        self.watchdogs = {
+            name: ProgressWatchdog(scheduler, probe, interval_ms, name=name)
+            for name, probe in probes.items()
+        }
+
+    def stop(self) -> None:
+        for wd in self.watchdogs.values():
+            wd.stop()
+
+    def final_values(self) -> "dict[str, float]":
+        return {
+            name: (wd.samples[-1][1] if wd.samples else 0.0)
+            for name, wd in self.watchdogs.items()
+        }
+
+    def stalled_subscribers(
+        self, t0: float, t1: float, behind: "Optional[Set[str]]" = None
+    ) -> List[str]:
+        """Subscribers that neither advanced in ``[t0, t1]`` nor ended
+        caught up.
+
+        A subscriber already fully caught up before ``t0`` legitimately
+        shows no progress — it is only *stalled* if it also finished
+        with ground left to cover.  ``behind`` names those subscribers
+        when the caller can compute true per-subscriber expectations
+        (subscribers with different predicates owe different counts);
+        without it, finishing below the pack's best final value is used
+        as a proxy, which is only sound when every probe measures the
+        same quantity.
+        """
+        finals = self.final_values()
+        if behind is None:
+            best = max(finals.values(), default=0.0)
+            behind = {name for name, v in finals.items() if v < best}
+        return sorted(
+            name
+            for name, wd in self.watchdogs.items()
+            if not wd.progressed_between(t0, t1) and name in behind
+        )

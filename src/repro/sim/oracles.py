@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional
 
 __all__ = [
     "KnowledgeMonotonicityProbe",
+    "all_shbs",
     "check_all",
     "check_chop_agreement",
     "check_delivery",
@@ -149,6 +150,22 @@ def check_pfs_chains(shb: object) -> List[str]:
 # ----------------------------------------------------------------------
 # 4: chop-point agreement across event log / PFS / release tables
 # ----------------------------------------------------------------------
+def all_shbs(overlay: object, include_retired: bool = True) -> List[object]:
+    """Every SHB the run ever had — live plus (by default) retired.
+
+    Dynamic-topology runs detach drained brokers into
+    ``overlay.retired``; their final durable state must still satisfy
+    every invariant, so the oracles audit them too.
+    """
+    shbs = list(overlay.shbs)
+    if include_retired:
+        shbs.extend(
+            b for b in getattr(overlay, "retired", [])
+            if hasattr(b, "constreams")
+        )
+    return shbs
+
+
 def check_chop_agreement(overlay: object) -> List[str]:
     violations: List[str] = []
     for name, pubend in sorted(overlay.phb.pubends.items()):
@@ -159,11 +176,15 @@ def check_chop_agreement(overlay: object) -> List[str]:
                 f"phb/{name}: event log chopped below {log_chop} but "
                 f"released bound is only {released_bound}"
             )
-        for shb in overlay.shbs:
+        for shb in all_shbs(overlay):
             if name not in shb.constreams:
                 continue
             committed_ld = shb.constreams[name].committed_latest_delivered
-            if released_bound > committed_ld:
+            # The released bound must trail every *live* SHB's durable
+            # replay point.  A retired SHB's cursor froze at detach and
+            # it will never replay — the tree legitimately releases
+            # past it, so only the SHB-local PFS check applies there.
+            if shb in overlay.shbs and released_bound > committed_ld:
                 violations.append(
                     f"phb/{name}: released bound {released_bound} beyond "
                     f"{shb.name}'s committed latestDelivered {committed_ld}"
@@ -241,13 +262,26 @@ def check_all(
     overlay: object,
     subscribers: List[object],
     expected_of: Callable[[object], Dict[str, int]],
-    knowledge_probe: Optional[KnowledgeMonotonicityProbe] = None,
+    knowledge_probe: object = None,
     truth_ids: Optional[set] = None,
 ) -> List[str]:
+    """Run every oracle family over every SHB the run ever had.
+
+    ``knowledge_probe`` accepts one probe or a list of them — dynamic
+    topologies run one :class:`KnowledgeMonotonicityProbe` per SHB.
+    Retired (drained) SHBs are audited too: their PFS chains must still
+    decode and their chop points must still agree with their own frozen
+    cursors.
+    """
     violations = check_delivery(subscribers, expected_of, truth_ids)
-    for shb in overlay.shbs:
+    for shb in all_shbs(overlay):
         violations.extend(check_pfs_chains(shb))
     violations.extend(check_chop_agreement(overlay))
-    if knowledge_probe is not None:
-        violations.extend(knowledge_probe.check_final())
+    probes = (
+        knowledge_probe
+        if isinstance(knowledge_probe, (list, tuple))
+        else ([knowledge_probe] if knowledge_probe is not None else [])
+    )
+    for probe in probes:
+        violations.extend(probe.check_final())
     return violations

@@ -1,0 +1,271 @@
+"""Dynamic topology: supervised join, drain/leave and reparenting.
+
+The overlay mutates while publishing continues; durable subscribers
+must keep exactly-once delivery through every mutation.  These tests
+drive the wiring layer (``broker.topology``) and the control plane
+(``sim.supervisor``) directly on small overlays.
+"""
+
+import pytest
+
+from repro import (
+    DurableSubscriber,
+    Everything,
+    In,
+    Node,
+    PeriodicPublisher,
+    Scheduler,
+    build_star,
+)
+from repro.broker.topology import (
+    attach_intermediate,
+    attach_shb,
+    detach_broker,
+    reparent_broker,
+)
+from repro.sim.supervisor import Supervisor, least_loaded_policy
+from repro.util.errors import ConfigurationError
+
+
+def _publisher(sim, overlay, rate=100.0):
+    pub = PeriodicPublisher(sim, overlay.phb, overlay.pubend_names[0], rate,
+                            attribute_fn=lambda i: {"group": i % 4})
+    pub.start()
+    return pub
+
+
+def _subscriber(sim, name, shb, predicate=None):
+    sub = DurableSubscriber(
+        sim, name, Node(sim, f"m-{name}"), predicate or Everything(),
+        record_events=True, connect_retry_ms=400.0,
+    )
+    sub.connect(shb)
+    return sub
+
+
+class TestJoin:
+    def test_joined_shb_reaches_steady_state(self):
+        """A mid-run SHB join delivers the post-join stream in full."""
+        sim = Scheduler()
+        overlay = build_star(sim, ["P1"], 2)
+        pub = _publisher(sim, overlay)
+        sim.run_until(1_000.0)
+
+        supervisor = Supervisor(overlay)
+        joiner = supervisor.join_shb("late-shb")
+        assert joiner in overlay.shbs
+        joined_at = sim.now
+
+        sub = _subscriber(sim, "late-sub", joiner)
+        sim.run_until(3_000.0)
+        pub.stop()
+        sim.run_until(5_000.0)
+
+        assert sub.connected
+        # Everything published after the join (plus settling margin)
+        # must arrive; the joiner owes no pre-join history.
+        timestamps = [int(eid.split(":")[1]) for eid in sub.received_event_ids]
+        assert any(t > joined_at + 200 for t in timestamps), \
+            "no post-join events delivered"
+        assert timestamps == sorted(timestamps)
+
+    def test_join_fast_forwards_past_history(self):
+        sim = Scheduler()
+        overlay = build_star(sim, ["P1"], 1)
+        pub = _publisher(sim, overlay)
+        sim.run_until(2_000.0)
+        supervisor = Supervisor(overlay)
+        joiner = supervisor.join_shb("ff-shb")
+        # Fast-forward pins the constream cursor at the dissemination
+        # point: the joiner never nacks the entire past.
+        assert joiner.constreams["P1"].delivered_cursor >= 1_500
+        pub.stop()
+
+    def test_join_intermediate_is_childless(self):
+        sim = Scheduler()
+        overlay = build_star(sim, ["P1"], 1)
+        supervisor = Supervisor(overlay)
+        mid = supervisor.join_intermediate("late-mid")
+        assert mid in overlay.intermediates
+        assert mid.child_names == []
+
+
+class TestDetach:
+    def test_detach_refuses_populated_shb(self):
+        sim = Scheduler()
+        overlay = build_star(sim, ["P1"], 2)
+        shb = overlay.shbs[0]
+        _subscriber(sim, "s1", shb)
+        sim.run_until(200.0)
+        with pytest.raises(ConfigurationError):
+            detach_broker(overlay, shb)
+
+    def test_detach_moves_broker_to_retired(self):
+        sim = Scheduler()
+        overlay = build_star(sim, ["P1"], 2)
+        shb = overlay.shbs[1]
+        detach_broker(overlay, shb)
+        assert shb not in overlay.shbs
+        assert shb in overlay.retired
+        assert shb.name not in overlay.phb.child_names
+
+    def test_reparent_under_new_intermediate(self):
+        """An SHB hops under a freshly joined intermediate and keeps
+        delivering (cold filter union passes knowledge unfiltered until
+        the epoch sync warms it)."""
+        sim = Scheduler()
+        overlay = build_star(sim, ["P1"], 1)
+        shb = overlay.shbs[0]
+        sub = _subscriber(sim, "rp-sub", shb)
+        pub = _publisher(sim, overlay)
+        sim.run_until(1_000.0)
+
+        mid = attach_intermediate(overlay, "mid-late")
+        reparent_broker(overlay, shb, mid)
+        sim.run_until(3_000.0)
+        pub.stop()
+        sim.run_until(6_000.0)
+
+        assert overlay.parent_of(shb) is mid
+        assert sub.stats.events == pub.published
+        assert sub.duplicate_events == 0
+
+
+class TestDrain:
+    def test_drain_migrates_all_and_detaches(self):
+        sim = Scheduler()
+        overlay = build_star(sim, ["P1"], 2)
+        source, dest = overlay.shbs
+        subs = [
+            _subscriber(sim, f"d{i}", source, In("group", [i % 4]))
+            for i in range(3)
+        ]
+        pub = _publisher(sim, overlay)
+        sim.run_until(1_000.0)
+
+        supervisor = Supervisor(overlay)
+        handle = supervisor.drain_shb(source, dest)
+
+        # Redirect-aware reconnection: drained clients follow the
+        # ConnectRefused redirect to the destination.
+        def _rehome() -> None:
+            for sub in subs:
+                if sub.connected:
+                    continue
+                if sub.last_refusal is not None:
+                    sub.last_refusal = None
+                    sub.connect(dest)
+
+        rehome = sim.every(250.0, _rehome)
+        sim.run_until(8_000.0)
+        pub.stop()
+        sim.run_until(12_000.0)
+        rehome.cancel()
+
+        assert handle.done and handle.detached
+        assert source in overlay.retired
+        assert len(source.registry) == 0
+        for i, sub in enumerate(subs):
+            assert sub.connected
+            expected = sum(1 for t in range(1, pub.published + 1) if t % 4 == i % 4)
+            assert sub.stats.events == expected, sub.sub_id
+            assert sub.duplicate_events == 0
+
+    def test_draining_shb_refuses_new_subscriptions(self):
+        sim = Scheduler()
+        overlay = build_star(sim, ["P1"], 2)
+        source, dest = overlay.shbs
+        source.begin_drain()
+        sub = _subscriber(sim, "newcomer", source)
+        sim.run_until(300.0)
+        assert not sub.connected
+        assert sub.last_refusal is not None
+        assert sub.last_refusal[0] == "draining"
+
+    def test_drain_into_itself_rejected(self):
+        sim = Scheduler()
+        overlay = build_star(sim, ["P1"], 2)
+        supervisor = Supervisor(overlay)
+        with pytest.raises(ConfigurationError):
+            supervisor.drain_shb(overlay.shbs[0], overlay.shbs[0])
+
+    def test_detach_waits_for_grace(self):
+        """The drained broker keeps reporting for detach_grace_ms after
+        its last row drops, covering the handoff release pins."""
+        sim = Scheduler()
+        overlay = build_star(sim, ["P1"], 2)
+        source, dest = overlay.shbs
+        _subscriber(sim, "g1", source)
+        sim.run_until(500.0)
+        supervisor = Supervisor(overlay, detach_grace_ms=2_000.0)
+        handle = supervisor.drain_shb(source, dest)
+        emptied_at = None
+        detached_at = None
+        deadline = sim.now + 12_000.0
+        while sim.now < deadline and detached_at is None:
+            sim.run_until(sim.now + 25.0)
+            if emptied_at is None and len(source.registry) == 0:
+                emptied_at = sim.now
+            if handle.detached:
+                detached_at = sim.now
+        assert detached_at is not None
+        assert emptied_at is not None
+        assert detached_at - emptied_at >= 1_800.0
+
+
+class TestPlacement:
+    def test_least_loaded_policy_balances(self):
+        moves = least_loaded_policy({
+            "a": ["s1", "s2", "s3", "s4"],
+            "b": [],
+            "c": ["s5"],
+        })
+        loads = {"a": 4, "b": 0, "c": 1}
+        for sub_id, src, dst in moves:
+            loads[src] -= 1
+            loads[dst] += 1
+        assert max(loads.values()) - min(loads.values()) <= 1
+
+    def test_least_loaded_policy_noop_when_even(self):
+        assert least_loaded_policy({"a": ["s1"], "b": ["s2"]}) == []
+
+    def test_rebalance_applies_policy(self):
+        sim = Scheduler()
+        overlay = build_star(sim, ["P1"], 2)
+        hot, cold = overlay.shbs
+        subs = [_subscriber(sim, f"rb{i}", hot, In("group", [i % 4]))
+                for i in range(4)]
+        pub = _publisher(sim, overlay)
+        sim.run_until(1_000.0)
+
+        supervisor = Supervisor(overlay)
+        handles = supervisor.rebalance()
+        assert handles, "skewed placement should plan moves"
+
+        def _rehome() -> None:
+            for sub in subs:
+                if sub.connected or sub.last_refusal is None:
+                    continue
+                _reason, redirect = sub.last_refusal
+                sub.last_refusal = None
+                target = next(
+                    (s for s in overlay.shbs if s.name == redirect), None)
+                if target is not None:
+                    sub.connect(target)
+                else:
+                    sub.connect(hot)
+
+        rehome = sim.every(250.0, _rehome)
+        sim.run_until(6_000.0)
+        pub.stop()
+        sim.run_until(10_000.0)
+        rehome.cancel()
+
+        assert all(h.done for h in handles)
+        placement = supervisor.placement()
+        counts = [len(v) for v in placement.values()]
+        assert max(counts) - min(counts) <= 1
+        for i, sub in enumerate(subs):
+            expected = sum(1 for t in range(1, pub.published + 1) if t % 4 == i % 4)
+            assert sub.stats.events == expected, sub.sub_id
+            assert sub.duplicate_events == 0
