@@ -27,6 +27,7 @@ from repro.sim.experiments import run_message_amplification
 from bench_latency import measure_latency_metrics
 from bench_matching import measure_baseline_metrics as measure_matching_metrics
 from bench_scalability import measure_scalability_metrics
+from bench_scale import measure_scale_metrics
 
 BASELINE_PATH = pathlib.Path(__file__).parent / "baseline.json"
 TOLERANCE = 0.20
@@ -62,6 +63,12 @@ HIGHER_IS_WORSE = {
     # delivery efficiency of the same smoke run.
     "scalability_sim_events_per_wall_s": False,
     "scalability_efficiency_smoke": False,
+    # Scale bench (benchmarks/bench_scale.py): durable fan-out
+    # throughput at 10^5 subscribers on the deep forest (wall-clock,
+    # held loosely) and the per-subscriber registry/index memory
+    # (tracemalloc, deterministic per Python build).
+    "scale_sim_events_per_wall_s_100k": False,
+    "scale_bytes_per_subscriber": True,
     # Traced latency histograms (benchmarks/bench_latency.py): p50/p99
     # publish→deliver and the reconnect catchup lag, simulated time, so
     # deterministic; sample counts gate the tracer itself (a sampling
@@ -83,6 +90,8 @@ TOLERANCES = {name: 0.60 for name in HIGHER_IS_WORSE if "_eps_" in name}
 TOLERANCES.update({name: 0.50 for name in HIGHER_IS_WORSE if "_speedup_" in name})
 TOLERANCES["scalability_sim_events_per_wall_s"] = 0.60  # wall-clock
 TOLERANCES["scalability_efficiency_smoke"] = 0.02       # deterministic
+TOLERANCES["scale_sim_events_per_wall_s_100k"] = 0.60   # wall-clock
+TOLERANCES["scale_bytes_per_subscriber"] = 0.20         # allocator-level
 
 
 def measure() -> dict:
@@ -106,6 +115,7 @@ def measure() -> dict:
     out.update(measure_matching_metrics())
     out.update(measure_latency_metrics())
     out.update(measure_scalability_metrics())
+    out.update(measure_scale_metrics())
     return out
 
 

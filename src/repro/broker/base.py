@@ -172,7 +172,15 @@ class Broker:
             self._parent_send.send(msg)
 
     def send_to_child(self, child: str, msg: object) -> None:
-        self._child_sends[child].send(msg)
+        send = self._child_sends.get(child)
+        if send is None:
+            # A queued CPU job (e.g. a dissemination forward) can race a
+            # reparent/detach and fire after the child left.  Equivalent
+            # to the message dying with the severed link: the child's
+            # eager resync under its new parent re-nacks anything it
+            # still needs, so the forward is dropped, not crashed on.
+            return
+        send.send(msg)
 
     def _trace_forward(self, update: M.KnowledgeUpdate, start_ms: float, span: str) -> None:
         """Record a forward span for every traced event in ``update``.

@@ -237,6 +237,12 @@ class IntermediateBroker(Broker):
         if not self.child_filter_ready.get(child, True):
             return update
         engine = self.child_engines[child]
+        if engine.accepts_all() and len(update.s_ranges) <= 1 and len(update.l_ranges) <= 1:
+            # A wildcard below this link with nothing to coalesce: the
+            # filtered update would be a field-for-field copy, so ship
+            # the shared instance instead of allocating one per child
+            # (nothing on the receive path mutates a payload).
+            return update
         out = M.KnowledgeUpdate(update.pubend)
         out.s_ranges = list(update.s_ranges)
         out.l_ranges = list(update.l_ranges)

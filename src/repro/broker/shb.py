@@ -422,6 +422,44 @@ class SubscriberHostingBroker(Broker):
             self.engine.remove(sub_id)
             self.send_up(M.SubscriptionRemove(self._global_sub_id(sub_id)))
 
+    def register_durable(self, sub_id: str, predicate: object) -> None:
+        """Register a durable subscription with no client session.
+
+        A durable subscription exists independently of any connection —
+        the paper's defining property.  Once registered, every matched
+        event is logged to the PFS on the subscriber's behalf until a
+        client eventually connects (``ConnectRequest`` with this
+        ``sub_id`` and a CT) and drains it through catchup.
+
+        This is exactly the registration half of :meth:`_on_connect`
+        (registry row with its ``pfs_from`` coverage cursor, matching
+        engine entry, upstream ``SubscriptionAdd``, and the initial ack
+        at the registration cursor) without the session plumbing.  The
+        scale harness uses it to host 10^5 subscriptions without 10^5
+        client objects: a disconnected durable subscription costs its
+        registry row, its matching-engine entry and its PFS records —
+        which is the very state this PR puts on a diet.
+        """
+        if self.draining:
+            raise ProtocolError(f"{self.name} is draining; no new subscriptions")
+        if sub_id in self.registry:
+            raise ProtocolError(f"{sub_id} is already registered at {self.name}")
+        registered_at = {
+            p: self.constreams[p].delivered_cursor for p in self.pubend_names
+        }
+        pfs_cover_from = {
+            p: max(registered_at[p], self.pfs.last_timestamp(p))
+            for p in self.pubend_names
+        }
+        sub = self.registry.create(sub_id, predicate, pfs_from=pfs_cover_from)
+        self.engine.add(sub.sub_id, sub.predicate)
+        self.send_up(M.SubscriptionAdd(self._global_sub_id(sub.sub_id), sub.predicate))
+        self._maybe_clear_suspect()
+        # A new subscriber starts at the constream's cursor (§4.1): it
+        # is owed nothing below the registration point.
+        for pubend, t in registered_at.items():
+            self.registry.ack(sub.sub_id, pubend, t)
+
     # ------------------------------------------------------------------
     # Dynamic topology: supervised join / drain / migration
     # ------------------------------------------------------------------

@@ -10,8 +10,9 @@ registration the aggregators require.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.release import EarlyReleasePolicy
 from ..net.link import Link
@@ -416,3 +417,184 @@ def reparent_broker(
     # union, re-report release floors, re-nack outstanding curiosity.
     broker._on_uplink_restored()
     return new_link
+
+
+# ----------------------------------------------------------------------
+# Scale topologies: wide/deep forests of PHB-rooted trees
+# ----------------------------------------------------------------------
+@dataclass
+class Federation:
+    """A forest of PHB-rooted trees sharing one scheduler.
+
+    The dissemination tree is single-parent (every broker has exactly
+    one uplink), so "multiple PHBs" is necessarily a *forest*: one tree
+    per PHB, each owning a disjoint set of pubends.  Redundant paths
+    live inside each tree as childless **spare** intermediates — warm
+    standbys a subtree can be moved onto with :func:`reparent_broker`
+    when a link or an intermediate fails.
+    """
+
+    scheduler: Scheduler
+    trees: List[Overlay] = field(default_factory=list)
+    #: Childless standby intermediates, per tree index and level
+    #: (1-based): redundant-path failover targets for that level's
+    #: subtrees.
+    spares: Dict[Tuple[int, int], List[IntermediateBroker]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def shbs(self) -> List[SubscriberHostingBroker]:
+        return [shb for tree in self.trees for shb in tree.shbs]
+
+    @property
+    def pubend_names(self) -> List[str]:
+        return sorted(p for tree in self.trees for p in tree.pubend_names)
+
+    def all_brokers(self) -> List[Broker]:
+        return [b for tree in self.trees for b in tree.all_brokers()]
+
+    def shb_by_name(self, name: str) -> SubscriberHostingBroker:
+        for tree in self.trees:
+            for shb in tree.shbs:
+                if shb.name == name:
+                    return shb
+        raise ConfigurationError(f"no SHB named {name}")
+
+    def broker_by_name(self, name: str) -> Broker:
+        for tree in self.trees:
+            for broker in tree.all_brokers():
+                if broker.name == name:
+                    return broker
+        raise ConfigurationError(f"no broker named {name}")
+
+    def tree_of(self, broker: Broker) -> Overlay:
+        for tree in self.trees:
+            if broker in tree.all_brokers() or broker in tree.retired:
+                return tree
+        raise ConfigurationError(f"{broker.name} belongs to no tree")
+
+    def fail_over(self, broker: Broker, spare: IntermediateBroker) -> Link:
+        """Move ``broker``'s subtree onto a spare (redundant-path failover)."""
+        tree = self.tree_of(broker)
+        for level_spares in self.spares.values():
+            if spare in level_spares:
+                level_spares.remove(spare)
+                break
+        return reparent_broker(tree, broker, spare)
+
+
+def build_deep_overlay(
+    scheduler: Scheduler,
+    n_trees: int = 1,
+    pubends_per_tree: int = 1,
+    fanout: Sequence[int] = (2,),
+    shbs_per_leaf: int = 2,
+    spares_per_level: int = 0,
+    policy: Optional[EarlyReleasePolicy] = None,
+    cost_model: Optional[CostModel] = None,
+    link_latency_ms: float = 1.0,
+    batch_window_ms: float = 0.0,
+    **shb_kwargs: object,
+) -> Federation:
+    """A parameterized wide/deep forest, grown with the attach APIs.
+
+    Each of ``n_trees`` trees is rooted at its own PHB (``phb1``,
+    ``phb2``, ...) owning ``pubends_per_tree`` disjoint pubends
+    (``p<tree>.<k>``).  ``fanout`` gives the branching at each
+    intermediate level; every leaf-level intermediate then carries
+    ``shbs_per_leaf`` SHBs.  ``fanout=()`` hangs the SHBs directly off
+    the PHB (a star per tree).
+
+    ``spares_per_level`` attaches that many *childless* intermediates
+    at each level (round-robin over the level's parents): redundant
+    paths kept cold (``child_filter_ready=False``) until a failover
+    moves a subtree onto them via :meth:`Federation.fail_over`.
+
+    ``build_deep_overlay(s, n_trees=2, fanout=(2, 3), shbs_per_leaf=4)``
+    yields 2 trees × (1 PHB + 2 + 6 intermediates + 24 SHBs).  The
+    whole forest is grown through :func:`attach_intermediate` /
+    :func:`attach_shb` — the same code path a live join takes — so
+    generated topologies exercise exactly the supervised-join wiring.
+    """
+    if n_trees < 1:
+        raise ConfigurationError("need at least one tree")
+    if shbs_per_leaf < 1:
+        raise ConfigurationError("need at least one SHB per leaf")
+    federation = Federation(scheduler)
+    for k in range(n_trees):
+        tag = f"t{k + 1}" if n_trees > 1 else ""
+        phb = PublisherHostingBroker(
+            scheduler, f"phb{k + 1}" if n_trees > 1 else "phb",
+            cost_model=cost_model,
+        )
+        for j in range(pubends_per_tree):
+            name = f"p{k + 1}.{j + 1}" if n_trees > 1 else f"p{j + 1}"
+            phb.create_pubend(name, policy=policy)
+        tree = Overlay(scheduler, phb)
+        federation.trees.append(tree)
+        prefix = f"{tag}." if tag else ""
+        frontier: List[Broker] = [phb]
+        for level, width in enumerate(fanout):
+            next_frontier: List[Broker] = []
+            for parent in frontier:
+                for _ in range(width):
+                    mid = attach_intermediate(
+                        tree, f"{prefix}ib{len(tree.intermediates) + 1}",
+                        parent=parent, cost_model=cost_model,
+                        link_latency_ms=link_latency_ms,
+                        batch_window_ms=batch_window_ms,
+                    )
+                    next_frontier.append(mid)
+            for m in range(spares_per_level):
+                spare = attach_intermediate(
+                    tree, f"{prefix}spare{level + 1}.{m + 1}",
+                    parent=frontier[m % len(frontier)], cost_model=cost_model,
+                    link_latency_ms=link_latency_ms,
+                    batch_window_ms=batch_window_ms,
+                )
+                federation.spares.setdefault((k, level + 1), []).append(spare)
+            frontier = next_frontier
+        for parent in frontier:
+            for _ in range(shbs_per_leaf):
+                attach_shb(
+                    tree, f"{prefix}shb{len(tree.shbs) + 1}",
+                    parent=parent, cost_model=cost_model,
+                    link_latency_ms=link_latency_ms,
+                    batch_window_ms=batch_window_ms,
+                    **shb_kwargs,
+                )
+    return federation
+
+
+def place_durable_subscribers(
+    federation: Federation,
+    n_subscribers: int,
+    predicates: Sequence[object],
+    seed: int = 0,
+    prefix: str = "sub",
+) -> Dict[str, List[str]]:
+    """Deterministically place ``n_subscribers`` durable subscriptions.
+
+    Each subscription ``{prefix}{i}`` is registered *headless* (no
+    client session — see
+    :meth:`SubscriberHostingBroker.register_durable`) at a seeded
+    random SHB with a seeded random predicate from ``predicates``.
+    Placement depends only on ``(seed, n_subscribers, len(predicates),
+    SHB order)``, so two runs over identically built federations place
+    identically.  Returns ``{shb name: [sub ids]}``.
+    """
+    shbs = federation.shbs
+    if not shbs:
+        raise ConfigurationError("federation has no SHBs")
+    rng = random.Random(f"placement:{seed}")
+    placed: Dict[str, List[str]] = {shb.name: [] for shb in shbs}
+    n_shbs = len(shbs)
+    n_preds = len(predicates)
+    for i in range(n_subscribers):
+        shb = shbs[rng.randrange(n_shbs)]
+        predicate = predicates[rng.randrange(n_preds)]
+        sub_id = f"{prefix}{i}"
+        shb.register_durable(sub_id, predicate)
+        placed[shb.name].append(sub_id)
+    return placed

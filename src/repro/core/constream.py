@@ -224,41 +224,126 @@ class ConsolidatedStream:
             [(event.event_id, event.attributes) for _t, event in live]
         )
         # Pass 2 — deliver: per tick in order, exactly the pre-batch
-        # sequence of PFS writes and subscriber handoffs.
+        # sequence of PFS writes and subscriber handoffs.  Event
+        # messages carry no per-subscriber state and nothing on the
+        # delivery path mutates a payload (see Frame), so one shared
+        # message per tick fans out to every subscriber.
         batches: Optional[Dict[str, List[EventMessage]]] = (
             {} if self.deliver_batch is not None else None
         )
-        for (t, event), matched in zip(live, match_sets):
-            if self._tracer.tracing:
-                self._tracer.on_match(event.event_id, self.pubend)
-            nums = self._nums_for(matched)
-            if nums:
-                # The PFS logs the Q tick for every matching durable
-                # subscriber, connected or not.
-                self._pending_pfs.append(t)
-                self.pfs.write(self.pubend, t, nums, on_durable=lambda t=t: self._pfs_durable(t))
-            if batches is None:
+        if batches is None:
+            for (t, event), matched in zip(live, match_sets):
+                if self._tracer.tracing:
+                    self._tracer.on_match(event.event_id, self.pubend)
+                nums = self._nums_for(matched)
+                if nums:
+                    # The PFS logs the Q tick for every matching durable
+                    # subscriber, connected or not.
+                    self._pending_pfs.append(t)
+                    self.pfs.write(self.pubend, t, nums, on_durable=lambda t=t: self._pfs_durable(t))
+                msg = EventMessage(self.pubend, t, event)
                 for sub_id in matched:
                     last_sent = self._non_catchup.get(sub_id)
                     if last_sent is not None and t > last_sent:
-                        self.deliver(sub_id, EventMessage(self.pubend, t, event))
+                        self.deliver(sub_id, msg)
                         self._non_catchup[sub_id] = t
                         self.events_delivered += 1
-            else:
-                for sub_id in self._order_for(matched):
-                    last_sent = self._non_catchup.get(sub_id)
-                    if last_sent is not None and t > last_sent:
-                        batches.setdefault(sub_id, []).append(
-                            EventMessage(self.pubend, t, event)
-                        )
-                        self._non_catchup[sub_id] = t
-                        self.events_delivered += 1
+        else:
+            self._pump_batched(live, match_sets, batches)
         if batches:
             assert self.deliver_batch is not None
             for sub_id, msgs in batches.items():
                 self.deliver_batch(sub_id, msgs)
                 self.fanout_batches += 1
         self._recompute_latest_delivered()
+
+    def _pump_batched(
+        self,
+        live: List,
+        match_sets: List[frozenset],
+        batches: Dict[str, List[EventMessage]],
+    ) -> None:
+        """Batched fan-out of one advance, vectorized per matched-set run.
+
+        The engine memoizes match results per attribute set, so
+        consecutive ticks matching the same subscribers hand back the
+        *same* frozenset — group them into runs and fan each run out
+        with one membership lookup per subscriber instead of one per
+        (tick, subscriber).
+
+        Equivalence with the per-tick loop (this path feeds the pinned
+        determinism digests, so it must be exact):
+
+        * PFS writes, pending-PFS bookkeeping and trace notes stay per
+          tick, in tick order — only the subscriber loop is hoisted.
+        * The fast path requires every listed subscriber to be strictly
+          behind the run (``last_sent < first tick``).  Then the
+          per-tick loop would touch each of them first at the run's
+          first tick, in ``_order_for`` order, and deliver every tick
+          of the run — so sub-major iteration reproduces both the
+          ``batches``-dict insertion order (= ``deliver_batch`` call
+          order) and each subscriber's message list exactly.  Any
+          subscriber mid-run (a fresh floor inside the run) falls the
+          whole run back to the per-tick loop.
+        * Membership can grow mid-run (a catchup switchover fired by a
+          synchronous PFS-durability callback calls
+          ``add_non_catchup``), but only with a floor at or above the
+          already-consumed advance — such a subscriber receives
+          nothing this pump under either loop.
+        """
+        n = len(live)
+        i = 0
+        while i < n:
+            matched = match_sets[i]
+            j = i + 1
+            while j < n and match_sets[j] is matched:
+                j += 1
+            run = live[i:j]
+            i = j
+            nums = self._nums_for(matched)
+            for t, event in run:
+                if self._tracer.tracing:
+                    self._tracer.on_match(event.event_id, self.pubend)
+                if nums:
+                    self._pending_pfs.append(t)
+                    self.pfs.write(
+                        self.pubend, t, nums,
+                        on_durable=lambda t=t: self._pfs_durable(t),
+                    )
+            order = self._order_for(matched)
+            t0 = run[0][0]
+            plan = []
+            fast = True
+            for sub_id in order:
+                last_sent = self._non_catchup.get(sub_id)
+                if last_sent is None:
+                    continue
+                if last_sent >= t0:
+                    fast = False
+                    break
+                plan.append(sub_id)
+            if fast:
+                if plan:
+                    msgs = [EventMessage(self.pubend, t, event) for t, event in run]
+                    t_last = run[-1][0]
+                    delivered = len(msgs)
+                    for sub_id in plan:
+                        bucket = batches.get(sub_id)
+                        if bucket is None:
+                            batches[sub_id] = msgs.copy()
+                        else:
+                            bucket.extend(msgs)
+                        self._non_catchup[sub_id] = t_last
+                        self.events_delivered += delivered
+            else:
+                for t, event in run:
+                    msg = EventMessage(self.pubend, t, event)
+                    for sub_id in order:
+                        last_sent = self._non_catchup.get(sub_id)
+                        if last_sent is not None and t > last_sent:
+                            batches.setdefault(sub_id, []).append(msg)
+                            self._non_catchup[sub_id] = t
+                            self.events_delivered += 1
 
     def _nums_for(self, matched: frozenset) -> List[int]:
         """PFS subscriber nums for a match set, memoized per set.
@@ -317,9 +402,12 @@ class ConsolidatedStream:
     # ------------------------------------------------------------------
     def _silence_tick(self) -> None:
         horizon = self.latest_delivered
+        msg: Optional[SilenceMessage] = None  # shared by every lagging sub
         for sub_id, last_sent in list(self._non_catchup.items()):
             if horizon - last_sent >= self.silence_lag_ms:
-                self.deliver(sub_id, SilenceMessage(self.pubend, horizon))
+                if msg is None:
+                    msg = SilenceMessage(self.pubend, horizon)
+                self.deliver(sub_id, msg)
                 self._non_catchup[sub_id] = horizon
                 self.silences_sent += 1
 

@@ -7,10 +7,34 @@ their numeric ids (used in PFS records) and their per-pubend released
 database tables; :class:`SubscriptionRegistry` stores everything in
 :class:`~repro.storage.table.PersistentTable` rows with the same crash
 semantics.
+
+Representation notes (scale work, representation-only — nothing here
+changes protocol behaviour):
+
+* :class:`DurableSubscription` rows are ``__slots__`` dataclasses and
+  their ``sub_id`` strings are interned, so 10^5 hosted subscriptions
+  do not pay a per-row ``__dict__``.
+* Predicates are deduplicated through :func:`intern_predicate` — the
+  registry-side extension of the shared-predicate-signature scheme in
+  :mod:`repro.matching.aggregate`: 10k subscribers sharing 500 distinct
+  filters reference 500 predicate objects, not 10k equal copies.
+* Registration-cursor maps (``pfs_from``) are deduplicated through
+  :func:`intern_cursor_map` and shared copy-on-write between the row
+  and its persisted table value — most subscriptions registered at the
+  same delivery cursor reference one map.
+* ``released(s, p)`` lives in a registry-level column store (pubend ->
+  subscriber num -> tick) instead of a per-row dict: one dict entry
+  per (row, pubend) rather than a whole dict object per row.
+* ``min_released`` is sharded by subscriber-num range (see
+  :data:`SHARD_BITS`): each shard caches its own minimum and an ack
+  only invalidates the acking subscriber's shard, so the periodic
+  release report touches the shards with fresh acks instead of walking
+  every hosted row.
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional
 
@@ -18,16 +42,76 @@ from ..matching.predicates import Predicate
 from ..storage.table import PersistentTable
 from ..util.errors import SubscriptionError
 
+#: Subscriber-num shard width: nums ``[k << SHARD_BITS, (k+1) << SHARD_BITS)``
+#: share shard ``k``.  256 is wide enough that shard overhead is noise at
+#: 10^2 subscribers and narrow enough that 10^5 subscribers spread over
+#: ~400 independently-cached shards.
+SHARD_BITS = 8
 
-@dataclass
+#: Canonical instance per distinct (value-equal) predicate.  Bounded:
+#: real deployments have orders of magnitude fewer distinct filters than
+#: subscribers, which is the entire point of interning them.
+_PREDICATE_POOL: Dict[Predicate, Predicate] = {}
+_PREDICATE_POOL_CAP = 1 << 16
+
+
+def intern_predicate(predicate: Predicate) -> Predicate:
+    """Return the canonical shared instance for a value-equal predicate.
+
+    Predicates are frozen dataclasses (hashable by value), so equal
+    filters can share one object.  Unhashable predicates — the same
+    fallback the aggregate's signature scheme uses — are returned
+    as-is, as is everything once the pool is full.
+    """
+    try:
+        pooled = _PREDICATE_POOL.get(predicate)
+        if pooled is not None:
+            return pooled
+        if len(_PREDICATE_POOL) < _PREDICATE_POOL_CAP:
+            _PREDICATE_POOL[predicate] = predicate
+        return predicate
+    except TypeError:
+        return predicate
+
+
+#: Canonical instance per distinct pubend->tick map.  Registration
+#: cursors repeat massively (every subscription registered at the same
+#: delivery cursor gets the same map), so rows share one frozen-by-
+#: convention dict instead of each holding a private copy.  Holders
+#: must treat an interned map as immutable: raising a cursor goes
+#: through copy-on-write (see :meth:`SubscriptionRegistry.set_pfs_from`).
+_MAP_POOL: Dict[tuple, Dict[str, int]] = {}
+_MAP_POOL_CAP = 1 << 16
+
+
+def intern_cursor_map(cursors: Dict[str, int]) -> Dict[str, int]:
+    """Return the canonical shared instance for a value-equal cursor map."""
+    key = tuple(sorted(cursors.items()))
+    pooled = _MAP_POOL.get(key)
+    if pooled is not None:
+        return pooled
+    canonical = {sys.intern(p): t for p, t in cursors.items()}
+    if len(_MAP_POOL) < _MAP_POOL_CAP:
+        _MAP_POOL[key] = canonical
+    return canonical
+
+
+def _shard_of(num: int) -> int:
+    return num >> SHARD_BITS
+
+
+@dataclass(slots=True)
 class DurableSubscription:
     """An SHB's record of one durable subscription."""
 
     sub_id: str
     num: int                      # compact id used inside PFS records
     predicate: Predicate
-    #: released(s, p): highest acknowledged timestamp per pubend.
-    released: Dict[str, int] = field(default_factory=dict)
+    #: released(s, p) column store, *shared with the hosting registry*
+    #: (pubend -> subscriber num -> highest acknowledged timestamp).
+    #: The row holds a pointer so released_for() stays a row method;
+    #: the registry owns all mutation.
+    released_columns: Dict[str, Dict[int, int]] = field(default_factory=dict)
     #: Tick from which this SHB's PFS covers the subscription, per
     #: pubend: the constream's delivery cursor at the moment the
     #: subscription entered the matching engine.  Ticks below it were
@@ -41,7 +125,8 @@ class DurableSubscription:
     connected: bool = False
 
     def released_for(self, pubend: str) -> int:
-        return self.released.get(pubend, 0)
+        column = self.released_columns.get(pubend)
+        return column.get(self.num, 0) if column is not None else 0
 
 
 class SubscriptionRegistry:
@@ -63,12 +148,22 @@ class SubscriptionRegistry:
         self._subs_table = subs_table
         self._released_table = released_table
         self._subs: Dict[str, DurableSubscription] = {}
-        self._by_num: Dict[int, DurableSubscription] = {}
+        #: released(s, p) column store: pubend -> num -> tick.  Shared
+        #: by reference with every hosted row (see DurableSubscription).
+        self._released: Dict[str, Dict[int, int]] = {}
         self._next_num = 0
         #: Bumped on every membership change (create/drop/crash reset);
         #: lets per-match-set caches (constream num fan-out) detect that
         #: a ``sub_id -> num`` mapping they memoized may be stale.
         self.version = 0
+        #: shard id -> {num -> row} membership, keyed by num range.
+        self._shards: Dict[int, Dict[int, DurableSubscription]] = {}
+        #: pubend -> shard id -> cached min released over that shard.
+        #: Invalidation: membership changes clear whole pubend caches;
+        #: an ack evicts only the acking row's shard (and only when the
+        #: raised value could have been the shard minimum — acks are
+        #: monotone, so a row strictly above the cached min cannot be).
+        self._min_cache: Dict[str, Dict[int, int]] = {}
         self._load()
 
     def _load(self) -> None:
@@ -79,15 +174,20 @@ class SubscriptionRegistry:
             else:  # rows written before pfs_from existed
                 num, predicate = row
                 pfs_from = {}
-            sub = DurableSubscription(sub_id, num, predicate, pfs_from=dict(pfs_from))
+            sub_id = sys.intern(sub_id)
+            sub = DurableSubscription(
+                sub_id, num, intern_predicate(predicate),
+                released_columns=self._released,
+                pfs_from=intern_cursor_map(pfs_from),
+            )
             self._subs[sub_id] = sub
-            self._by_num[num] = sub
+            self._shards.setdefault(_shard_of(num), {})[num] = sub
             self._next_num = max(self._next_num, num + 1)
         for key, value in self._released_table.committed_items():
             sub_id, pubend = key.rsplit("/", 1)
             sub = self._subs.get(sub_id)
             if sub is not None:
-                sub.released[pubend] = value
+                self._released.setdefault(sys.intern(pubend), {})[sub.num] = value
 
     # ------------------------------------------------------------------
     # Registration
@@ -107,14 +207,22 @@ class SubscriptionRegistry:
         """
         if sub_id in self._subs:
             raise SubscriptionError(f"subscription {sub_id} already exists")
+        sub_id = sys.intern(sub_id)
+        predicate = intern_predicate(predicate)
         sub = DurableSubscription(
-            sub_id, self._next_num, predicate, pfs_from=dict(pfs_from or {})
+            sub_id, self._next_num, predicate,
+            released_columns=self._released,
+            pfs_from=intern_cursor_map(pfs_from or {}),
         )
         self._next_num += 1
         self.version += 1
         self._subs[sub_id] = sub
-        self._by_num[sub.num] = sub
-        self._subs_table.put(sub_id, (sub.num, predicate, dict(sub.pfs_from)))
+        self._shards.setdefault(_shard_of(sub.num), {})[sub.num] = sub
+        self._min_cache.clear()
+        # The table row references the same interned map as the row
+        # object; set_pfs_from replaces both copy-on-write, so neither
+        # is ever mutated in place.
+        self._subs_table.put(sub_id, (sub.num, predicate, sub.pfs_from))
         return sub
 
     def set_pfs_from(self, sub_id: str, pfs_from: Dict[str, int]) -> None:
@@ -129,15 +237,17 @@ class SubscriptionRegistry:
         sub = self._subs.get(sub_id)
         if sub is None:
             raise SubscriptionError(f"unknown subscription {sub_id}")
+        updated = dict(sub.pfs_from)
         changed = False
         for pubend, t in pfs_from.items():
-            if t > sub.pfs_from.get(pubend, 0):
-                sub.pfs_from[pubend] = t
+            if t > updated.get(pubend, 0):
+                updated[sys.intern(pubend)] = t
                 changed = True
         if changed:
-            self._subs_table.put(
-                sub_id, (sub.num, sub.predicate, dict(sub.pfs_from))
-            )
+            # Copy-on-write: interned maps are shared across rows (and
+            # with the persisted table value), so never mutate in place.
+            sub.pfs_from = intern_cursor_map(updated)
+            self._subs_table.put(sub_id, (sub.num, sub.predicate, sub.pfs_from))
 
     def drop(self, sub_id: str) -> None:
         """Destroy a durable subscription (unsubscribe)."""
@@ -145,10 +255,16 @@ class SubscriptionRegistry:
         if sub is None:
             return
         self.version += 1
-        self._by_num.pop(sub.num, None)
+        shard = self._shards.get(_shard_of(sub.num))
+        if shard is not None:
+            shard.pop(sub.num, None)
+            if not shard:
+                del self._shards[_shard_of(sub.num)]
+        self._min_cache.clear()
         self._subs_table.delete(sub_id)
-        for pubend in list(sub.released):
-            self._released_table.delete(f"{sub_id}/{pubend}")
+        for pubend, column in self._released.items():
+            if column.pop(sub.num, None) is not None:
+                self._released_table.delete(f"{sub_id}/{pubend}")
 
     # ------------------------------------------------------------------
     # Lookup
@@ -157,7 +273,8 @@ class SubscriptionRegistry:
         return self._subs.get(sub_id)
 
     def by_num(self, num: int) -> Optional[DurableSubscription]:
-        return self._by_num.get(num)
+        shard = self._shards.get(_shard_of(num))
+        return shard.get(num) if shard is not None else None
 
     def all(self) -> Iterator[DurableSubscription]:
         return iter(self._subs.values())
@@ -176,19 +293,42 @@ class SubscriptionRegistry:
         sub = self._subs.get(sub_id)
         if sub is None:
             raise SubscriptionError(f"unknown subscription {sub_id}")
-        if timestamp <= sub.released.get(pubend, -1):
+        column = self._released.setdefault(sys.intern(pubend), {})
+        previous = column.get(sub.num, -1)
+        if timestamp <= previous:
             return
-        sub.released[pubend] = timestamp
+        column[sub.num] = timestamp
         self._released_table.put(f"{sub_id}/{pubend}", timestamp)
+        cache = self._min_cache.get(pubend)
+        if cache is not None:
+            shard_id = _shard_of(sub.num)
+            cached = cache.get(shard_id)
+            # released_for() treats a missing entry as 0, so the row's
+            # effective old value is max(previous, 0).
+            if cached is not None and max(previous, 0) <= cached:
+                del cache[shard_id]
 
     def min_released(self, pubend: str) -> Optional[int]:
         """``min over all hosted subscriptions of released(s, p)``.
 
         Includes disconnected subscriptions — that is the whole point
         of the release protocol.  None when the SHB hosts none.
+        Computed per num-range shard with cached shard minima; only
+        shards invalidated since the last call are rescanned.
         """
-        values = [sub.released_for(pubend) for sub in self._subs.values()]
-        return min(values) if values else None
+        if not self._subs:
+            return None
+        cache = self._min_cache.setdefault(pubend, {})
+        column = self._released.get(pubend, {})
+        best: Optional[int] = None
+        for shard_id, members in self._shards.items():
+            m = cache.get(shard_id)
+            if m is None:
+                m = min(column.get(num, 0) for num in members)
+                cache[shard_id] = m
+            if best is None or m < best:
+                best = m
+        return best
 
     def commit(self, on_durable=None) -> None:
         """Batch-commit registry and ack tables."""
@@ -199,7 +339,9 @@ class SubscriptionRegistry:
         self._subs_table.crash_reset()
         self._released_table.crash_reset()
         self._subs.clear()
-        self._by_num.clear()
+        self._released.clear()
+        self._shards.clear()
+        self._min_cache.clear()
         self._next_num = 0
         self.version += 1
         self._load()

@@ -21,6 +21,7 @@ exposes two indexing views for the matching engine:
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import Any, FrozenSet, Mapping, Optional, Sequence, Tuple
 
@@ -50,7 +51,7 @@ class Atom:
         raise NotImplementedError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EqAtom(Atom):
     """``value ∈ values`` — the hash-indexable equality/membership atom."""
 
@@ -61,7 +62,7 @@ class EqAtom(Atom):
         return value in self.values
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CmpAtom(Atom):
     """An ordered bound: ``value <op> bound`` with op in ``< <= > >=``.
 
@@ -81,7 +82,7 @@ class CmpAtom(Atom):
             return False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NeAtom(Atom):
     """``value != other`` (attribute presence is implied)."""
 
@@ -92,7 +93,7 @@ class NeAtom(Atom):
         return value != self.value
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExistsAtom(Atom):
     """The attribute is present, whatever its value."""
 
@@ -102,7 +103,7 @@ class ExistsAtom(Atom):
         return True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrefixAtom(Atom):
     """String attribute starts with ``prefix``."""
 
@@ -113,7 +114,7 @@ class PrefixAtom(Atom):
         return isinstance(value, str) and value.startswith(self.prefix)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NeverAtom(Atom):
     """Satisfied by no event — :class:`Nothing` and empty :class:`Or`.
 
@@ -130,7 +131,15 @@ Decomposition = Tuple[Tuple[Atom, ...], Optional["Predicate"]]
 
 
 class Predicate:
-    """Base class for subscription predicates."""
+    """Base class for subscription predicates.
+
+    Predicates are immutable values: ``__slots__`` throughout (rows at
+    10^5-subscriber scale reference them heavily) and leaf constructors
+    intern their attribute names, so equal predicates across
+    subscriptions share their key strings.
+    """
+
+    __slots__ = ()
 
     def matches(self, attributes: Mapping[str, Any]) -> bool:
         raise NotImplementedError
@@ -168,7 +177,7 @@ class Predicate:
         return Not(self)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Everything(Predicate):
     """Matches every event (a wildcard subscription)."""
 
@@ -179,7 +188,7 @@ class Everything(Predicate):
         return (), None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Nothing(Predicate):
     """Matches no event (useful as an identity for Or-folds)."""
 
@@ -190,12 +199,15 @@ class Nothing(Predicate):
         return (NeverAtom(),), None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Eq(Predicate):
     """``attributes[attr] == value``."""
 
     attr: str
     value: Any
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "attr", sys.intern(self.attr))
 
     def matches(self, attributes: Mapping[str, Any]) -> bool:
         return attributes.get(self.attr, _MISSING) == self.value
@@ -207,7 +219,7 @@ class Eq(Predicate):
         return (EqAtom(self.attr, frozenset((self.value,))),), None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class In(Predicate):
     """``attributes[attr]`` is one of a fixed set of values."""
 
@@ -215,7 +227,7 @@ class In(Predicate):
     values: FrozenSet[Any]
 
     def __init__(self, attr: str, values: Sequence[Any]):
-        object.__setattr__(self, "attr", attr)
+        object.__setattr__(self, "attr", sys.intern(attr))
         object.__setattr__(self, "values", frozenset(values))
 
     def matches(self, attributes: Mapping[str, Any]) -> bool:
@@ -228,7 +240,7 @@ class In(Predicate):
         return (EqAtom(self.attr, self.values),), None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Ne(Predicate):
     """``attributes[attr] != value`` (attribute must be present)."""
 
@@ -243,7 +255,7 @@ class Ne(Predicate):
         return (NeAtom(self.attr, self.value),), None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Cmp(Predicate):
     """An ordered comparison: ``attributes[attr] <op> bound``."""
 
@@ -291,7 +303,7 @@ def Ge(attr: str, bound: Any) -> Cmp:
     return Cmp(attr, ">=", bound)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Between(Predicate):
     """``lo <= attributes[attr] <= hi``."""
 
@@ -312,7 +324,7 @@ class Between(Predicate):
         return (CmpAtom(self.attr, ">=", self.lo), CmpAtom(self.attr, "<=", self.hi)), None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Exists(Predicate):
     """The attribute is present, whatever its value."""
 
@@ -325,7 +337,7 @@ class Exists(Predicate):
         return (ExistsAtom(self.attr),), None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Prefix(Predicate):
     """String attribute starts with the given prefix."""
 
@@ -340,7 +352,7 @@ class Prefix(Predicate):
         return (PrefixAtom(self.attr, self.prefix),), None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class And(Predicate):
     """Conjunction of predicates."""
 
@@ -378,7 +390,7 @@ class And(Predicate):
         return tuple(atoms), residual
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Or(Predicate):
     """Disjunction of predicates."""
 
@@ -434,7 +446,7 @@ class Or(Predicate):
         return (EqAtom(attr, frozenset(values)),), None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Not(Predicate):
     """Negation of a predicate."""
 

@@ -37,11 +37,93 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, Iterable, List, Optional
 
+from ..core.subscription import SHARD_BITS
 from ..sim.crashpoints import HOOKS
 from ..storage.disk import SimDisk
 from ..storage.logvolume import LogStream, LogVolume
 from ..util.errors import RecordNotFoundError, StorageError
 from .records import NO_PREVIOUS, PFSRecord
+
+
+class _ShardedIndex:
+    """``subscriber_num -> newest record index``, sharded by num range.
+
+    Representation-only replacement for the flat ``last_index`` dict:
+    nums ``[k << SHARD_BITS, (k+1) << SHARD_BITS)`` live in shard ``k``,
+    and each shard tracks a *floor* — a stale-safe lower bound on the
+    smallest record index any of its entries points at.  Entries only
+    ever move to newer (larger) indexes, so the floor set when a shard
+    first gains a member stays a valid lower bound until a prune
+    recomputes it.  :meth:`prune_below` — the chop-time stale-entry
+    sweep that used to walk every hosted subscriber — skips any shard
+    whose floor already clears the chop point, touching only shards
+    with entries old enough to matter.
+    """
+
+    __slots__ = ("_shards", "_floor")
+
+    def __init__(self) -> None:
+        self._shards: Dict[int, Dict[int, int]] = {}
+        self._floor: Dict[int, int] = {}
+
+    def get(self, num: int, default: Optional[int] = None) -> Optional[int]:
+        shard = self._shards.get(num >> SHARD_BITS)
+        if shard is None:
+            return default
+        return shard.get(num, default)
+
+    def __getitem__(self, num: int) -> int:
+        shard = self._shards.get(num >> SHARD_BITS)
+        if shard is None:
+            raise KeyError(num)
+        return shard[num]
+
+    def __setitem__(self, num: int, index: int) -> None:
+        sid = num >> SHARD_BITS
+        shard = self._shards.get(sid)
+        if shard is None:
+            shard = self._shards[sid] = {}
+            self._floor[sid] = index
+        elif index < self._floor[sid]:
+            self._floor[sid] = index
+        shard[num] = index
+
+    def __contains__(self, num: int) -> bool:
+        shard = self._shards.get(num >> SHARD_BITS)
+        return shard is not None and num in shard
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards.values())
+
+    def __iter__(self):
+        for shard in self._shards.values():
+            yield from shard
+
+    def keys(self):
+        return iter(self)
+
+    def items(self):
+        for shard in self._shards.values():
+            yield from shard.items()
+
+    def clear(self) -> None:
+        self._shards.clear()
+        self._floor.clear()
+
+    def prune_below(self, last_chopped_index: int) -> None:
+        """Drop entries pointing at or below the chopped index."""
+        for sid in list(self._shards):
+            if self._floor[sid] > last_chopped_index:
+                continue
+            shard = self._shards[sid]
+            stale = [num for num, idx in shard.items() if idx <= last_chopped_index]
+            for num in stale:
+                del shard[num]
+            if shard:
+                self._floor[sid] = min(shard.values())
+            else:
+                del self._shards[sid]
+                del self._floor[sid]
 
 
 @dataclass
@@ -69,11 +151,13 @@ class PFSReadResult:
         return len(self.q_ticks)
 
 
-@dataclass
+@dataclass(slots=True)
 class _PubendState:
     stream: LogStream
     last_timestamp: int = 0                 # newest Q tick written
-    last_index: Dict[int, int] = field(default_factory=dict)  # sub_num -> index
+    #: sub_num -> index of the newest record carrying that subscriber,
+    #: sharded by num range (see :class:`_ShardedIndex`).
+    last_index: _ShardedIndex = field(default_factory=_ShardedIndex)
     durable_next_index: int = 0             # appends below this are synced
     chopped_from_ts: int = 0                # ticks below this were chopped
 
@@ -304,10 +388,9 @@ class PersistentFilteringSubsystem:
             index += 1
         if last_chopped_index is not None:
             stream.chop(last_chopped_index)
-            # Drop stale lastIndex entries that now point below the chop.
-            for num, idx in list(state.last_index.items()):
-                if idx <= last_chopped_index:
-                    del state.last_index[num]
+            # Drop stale lastIndex entries that now point below the chop
+            # (per-shard floors let untouched num ranges skip the sweep).
+            state.last_index.prune_below(last_chopped_index)
         state.chopped_from_ts = timestamp
         if HOOKS.enabled:
             # Crash here: records gone, index maps pruned — catchup
@@ -327,7 +410,7 @@ class PersistentFilteringSubsystem:
     def recover(self) -> None:
         """Rebuild lastIndex/lastTimestamp by scanning the live streams."""
         for state in self._pubends.values():
-            state.last_index = {}
+            state.last_index.clear()
             state.last_timestamp = state.chopped_from_ts
             stream = state.stream
             for index in range(stream.chopped_below, stream.next_index):

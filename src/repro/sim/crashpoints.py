@@ -470,12 +470,153 @@ def _build_migration_scenario():
     )
 
 
+#: Publish cutoff / script end for the generated-forest scenario.
+SCALE_PUBLISH_UNTIL_MS = 2_400.0
+SCALE_SCRIPT_END_MS = 4_500.0
+
+
+class _ForestPublishers:
+    """Several ReliablePublishers (one per tree) behind one facade."""
+
+    def __init__(self, publishers: List[object]) -> None:
+        self.publishers = list(publishers)
+
+    @property
+    def unacknowledged(self) -> int:
+        return sum(p.unacknowledged for p in self.publishers)
+
+
+def _build_scale_scenario():
+    """A *generated* multi-PHB forest with redundant-path failover.
+
+    The wide/deep topology generator grows two PHB-rooted trees (two
+    intermediate paths each, one spare per tree) through the same
+    attach APIs a live join uses; headless durable subscriptions are
+    seeded across the forest and two subtrees — one bare SHB, one
+    intermediate with its subtree — fail over onto spares *inside the
+    scripted window*, so the census enumerates durability boundaries
+    while reparenting is in flight.  Each tree publishes a disjoint
+    group namespace, so a subscriber's expected set stays confined to
+    the tree that can actually reach it.
+    """
+    from ..broker.topology import build_deep_overlay, place_durable_subscribers
+    from ..client.publisher import ReliablePublisher
+    from ..client.subscriber import DurableSubscriber
+    from ..matching.predicates import In
+    from ..net.node import Node
+    from ..net.simtime import Scheduler
+    from .failures import FailureSchedule
+    from .oracles import KnowledgeMonotonicityProbe
+
+    sim = Scheduler()
+    federation = build_deep_overlay(
+        sim, n_trees=2, pubends_per_tree=1, fanout=(2,), shbs_per_leaf=1,
+        spares_per_level=1,
+    )
+    # Tree k publishes groups [3k, 3k+3); predicates never cross trees.
+    tree_groups = [list(range(3 * k, 3 * k + 3)) for k in range(2)]
+    headless_preds = [
+        In("group", (g,)) for groups in tree_groups for g in groups
+    ]
+    place_durable_subscribers(
+        federation, 6, headless_preds, seed=0, prefix="sx-h"
+    )
+
+    subscribers = []
+    homes = []
+    for k, tree in enumerate(federation.trees):
+        for j, shb in enumerate(tree.shbs):
+            i = len(subscribers)
+            machine = Node(sim, f"sx-m{i + 1}")
+            g = tree_groups[k]
+            sub = DurableSubscriber(
+                sim, f"sx-s{i + 1}", machine,
+                In("group", [g[j % 3], g[(j + 1) % 3]]),
+                record_events=True, connect_retry_ms=400.0,
+            )
+            sub.connect(shb)
+            subscribers.append(sub)
+            homes.append(shb)
+    home = {sub.sub_id: shb for sub, shb in zip(subscribers, homes)}
+
+    publishers = []
+    for k, tree in enumerate(federation.trees):
+        pub = ReliablePublisher(
+            sim, tree.phb, Node(sim, f"sx-pub-m{k + 1}"), f"sx-pub{k + 1}",
+            tree.pubend_names[0], retransmit_ms=400.0,
+        )
+        publishers.append(pub)
+
+    def feed(count=[0]) -> None:  # noqa: B006 - deliberate mutable default
+        if sim.now < SCALE_PUBLISH_UNTIL_MS:
+            for k, pub in enumerate(publishers):
+                pub.publish({"group": tree_groups[k][count[0] % 3]})
+            count[0] += 1
+
+    sim.every(1000.0 / 150.0, feed)
+
+    truth: Dict[str, Tuple[int, Dict[str, object]]] = {}
+
+    def record_truth() -> None:
+        for tree in federation.trees:
+            for pubend in tree.phb.pubends.values():
+                for ev in pubend.log.read_range(0, 2 ** 60):
+                    truth.setdefault(ev.event_id, (ev.timestamp, ev.attributes))
+
+    sim.every(50.0, record_truth)
+
+    schedule = FailureSchedule(sim)
+    probes = []
+    for tree in federation.trees:
+        for shb in tree.shbs:
+            probes.append(
+                KnowledgeMonotonicityProbe(
+                    sim, shb, tree.pubend_names, interval_ms=100.0
+                )
+            )
+
+    # Scripted churn + two redundant-path failovers inside the window:
+    # a bare SHB hops onto tree 1's spare, then a whole intermediate
+    # subtree (intermediate + its SHB) hops onto tree 2's spare.
+    sim.at(700.0, subscribers[1].disconnect)
+    sim.at(1_500.0, lambda: (
+        subscribers[1].connect(home[subscribers[1].sub_id])
+        if not subscribers[1].connected else None
+    ))
+    sim.at(1_200.0, lambda: federation.fail_over(
+        federation.trees[0].shbs[0], federation.spares[(0, 1)][0]
+    ))
+    sim.at(1_800.0, lambda: federation.fail_over(
+        federation.trees[1].intermediates[0], federation.spares[(1, 1)][0]
+    ))
+
+    def supervise() -> None:
+        for sub in subscribers:
+            shb = home[sub.sub_id]
+            if not sub.connected and not sub.node.is_down and not shb.node.is_down:
+                sub.connect(shb)
+
+    sim.every(331.0, supervise)
+
+    return _Scenario(
+        sim=sim, overlay=federation, subscribers=subscribers,
+        publisher=_ForestPublishers(publishers), truth=truth,
+        schedule=schedule, knowledge_probe=probes,
+        record_truth=record_truth,
+        publish_until_ms=SCALE_PUBLISH_UNTIL_MS,
+        script_end_ms=SCALE_SCRIPT_END_MS,
+    )
+
+
 #: Scenario registry: name -> builder.  ``storage`` is the original
 #: two-broker script over the storage stack; ``migration`` adds the
-#: dynamic-topology handoff windows (``migrate.*`` hook sites).
+#: dynamic-topology handoff windows (``migrate.*`` hook sites);
+#: ``scale`` sweeps a *generated* multi-PHB forest while subtrees fail
+#: over onto redundant-path spares.
 SCENARIOS: Dict[str, Callable[[], _Scenario]] = {
     "storage": _build_scenario,
     "migration": _build_migration_scenario,
+    "scale": _build_scale_scenario,
 }
 
 

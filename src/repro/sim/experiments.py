@@ -9,15 +9,19 @@ paper reports.  See DESIGN.md §3 for the experiment index.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from ..broker.topology import (
+    Federation,
     build_chain,
+    build_deep_overlay,
     build_single_broker,
     build_star,
     build_tree,
     build_two_broker,
+    place_durable_subscribers,
 )
 from ..client.subscriber import DurableSubscriber
 from ..jms.ctstore import CheckpointCommitService
@@ -56,7 +60,31 @@ class ScalabilityResult:
         return self.achieved_rate / self.offered_rate if self.offered_rate else 0.0
 
 
-def run_scalability(
+@dataclass
+class ScalabilitySetup:
+    """Everything :func:`drive_scalability` needs, built untimed.
+
+    Splitting construction from driving lets benchmarks keep workload
+    assembly (brokers, links, clients, churn schedule) out of the timed
+    region; the simulated run is identical either way because nothing
+    here advances the clock.
+    """
+
+    sim: Scheduler
+    overlay: object
+    publishers: List[object]
+    subscribers: List[DurableSubscriber]
+    schedule: Optional[ChurnSchedule]
+    spec: PaperWorkloadSpec
+    n_shbs: int
+    subs_per_shb: int
+    churn: bool
+    duration_ms: float
+    warmup_ms: float
+    single_broker: bool
+
+
+def prepare_scalability(
     n_shbs: int,
     subs_per_shb: int,
     churn: bool = False,
@@ -67,14 +95,8 @@ def run_scalability(
     churn_down_ms: float = 1_000.0,
     single_broker: bool = False,
     batch_window_ms: float = 0.0,
-) -> ScalabilityResult:
-    """One bar of Figure 4: aggregate subscriber rate for a topology.
-
-    Churn defaults are time-compressed relative to the paper (which
-    used 300 s period / 5 s down over long runs) with the same
-    down-to-period ratio, so the steady-state fraction of subscribers
-    in catchup matches; pass the paper's values for a full-length run.
-    """
+) -> ScalabilitySetup:
+    """Build the Figure-4 topology and workload without running it."""
     spec = spec or PaperWorkloadSpec()
     sim = Scheduler()
     if single_broker:
@@ -102,12 +124,33 @@ def run_scalability(
             down_ms=churn_down_ms,
             start_after_ms=warmup_ms,
         )
-    sim.run_until(warmup_ms)
+    return ScalabilitySetup(
+        sim=sim,
+        overlay=overlay,
+        publishers=publishers,
+        subscribers=subscribers,
+        schedule=schedule,
+        spec=spec,
+        n_shbs=n_shbs,
+        subs_per_shb=subs_per_shb,
+        churn=churn,
+        duration_ms=duration_ms,
+        warmup_ms=warmup_ms,
+        single_broker=single_broker,
+    )
+
+
+def drive_scalability(setup: ScalabilitySetup) -> ScalabilityResult:
+    """Run a prepared Figure-4 scenario: warmup, measure, report."""
+    sim = setup.sim
+    overlay = setup.overlay
+    subscribers = setup.subscribers
+    sim.run_until(setup.warmup_ms)
     start_events = sum(s.stats.events for s in subscribers)
     phb_busy_0 = overlay.phb.node.busy.total_busy_ms
     shb_busy_0 = [s.node.busy.total_busy_ms for s in overlay.shbs]
     t0 = sim.now
-    sim.run_until(warmup_ms + duration_ms)
+    sim.run_until(setup.warmup_ms + setup.duration_ms)
     elapsed = sim.now - t0
     achieved = (sum(s.stats.events for s in subscribers) - start_events) * 1000.0 / elapsed
     phb_idle = 1.0 - (overlay.phb.node.busy.total_busy_ms - phb_busy_0) / elapsed
@@ -115,25 +158,267 @@ def run_scalability(
         1.0 - (s.node.busy.total_busy_ms - b0) / elapsed
         for s, b0 in zip(overlay.shbs, shb_busy_0)
     ]
-    if schedule is not None:
-        schedule.stop()
-    for pub in publishers:
+    if setup.schedule is not None:
+        setup.schedule.stop()
+    for pub in setup.publishers:
         pub.stop()
     # When churn is on, subscribers spend down-time missing events; the
     # offered rate is reduced by the expected disconnected fraction.
-    offered = spec.per_subscriber_rate * subs_per_shb * n_shbs
+    offered = setup.spec.per_subscriber_rate * setup.subs_per_shb * setup.n_shbs
     return ScalabilityResult(
-        n_shbs=n_shbs,
-        subscribers=subs_per_shb * n_shbs,
-        churn=churn,
+        n_shbs=setup.n_shbs,
+        subscribers=setup.subs_per_shb * setup.n_shbs,
+        churn=setup.churn,
         offered_rate=offered,
         achieved_rate=achieved,
         phb_idle=phb_idle,
         shb_idle_mean=sum(shb_idles) / len(shb_idles),
-        single_broker=single_broker,
-        disconnects=schedule.disconnects if schedule else 0,
+        single_broker=setup.single_broker,
+        disconnects=setup.schedule.disconnects if setup.schedule else 0,
         catchup_count=sum(len(s.catchup_durations_ms) for s in overlay.shbs),
     )
+
+
+def run_scalability(
+    n_shbs: int,
+    subs_per_shb: int,
+    churn: bool = False,
+    duration_ms: float = 30_000.0,
+    warmup_ms: float = 5_000.0,
+    spec: Optional[PaperWorkloadSpec] = None,
+    churn_period_ms: float = 60_000.0,
+    churn_down_ms: float = 1_000.0,
+    single_broker: bool = False,
+    batch_window_ms: float = 0.0,
+) -> ScalabilityResult:
+    """One bar of Figure 4: aggregate subscriber rate for a topology.
+
+    Churn defaults are time-compressed relative to the paper (which
+    used 300 s period / 5 s down over long runs) with the same
+    down-to-period ratio, so the steady-state fraction of subscribers
+    in catchup matches; pass the paper's values for a full-length run.
+    """
+    return drive_scalability(
+        prepare_scalability(
+            n_shbs,
+            subs_per_shb,
+            churn=churn,
+            duration_ms=duration_ms,
+            warmup_ms=warmup_ms,
+            spec=spec,
+            churn_period_ms=churn_period_ms,
+            churn_down_ms=churn_down_ms,
+            single_broker=single_broker,
+            batch_window_ms=batch_window_ms,
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scale: 10^5 durable subscribers on a wide/deep forest (not a paper
+# figure; the regime the paper's Summit deployment targets)
+# ---------------------------------------------------------------------------
+@dataclass
+class ScaleResult:
+    """Outcome of one :func:`run_scale` point.
+
+    ``matched_pairs`` counts (event, subscriber) pairs the SHBs logged
+    to their PFSs — the durable fan-out work the system performs for a
+    subscriber whether or not a client is connected, recovered from the
+    record format itself (8 + 16n bytes per record, paper footnote 2).
+    ``matched_pairs_per_wall_s`` is the headline throughput the scale
+    bench gates.
+    """
+
+    n_subscribers: int
+    n_trees: int
+    n_intermediates: int
+    n_shbs: int
+    n_groups: int
+    connected_clients: int
+    events_published: int
+    pfs_records: int
+    pfs_bytes: int
+    matched_pairs: int
+    client_events: int
+    sim_ms: float
+    drive_wall_s: float
+
+    @property
+    def matched_pairs_per_wall_s(self) -> float:
+        return self.matched_pairs / self.drive_wall_s if self.drive_wall_s else 0.0
+
+
+@dataclass
+class ScaleSetup:
+    """A built (but not yet run) scale scenario.
+
+    Construction — federation wiring, 10^4..10^5 headless durable
+    registrations, live clients — is the expensive, *untimed* half;
+    benchmarks wrap :func:`prepare_scale` in ``tracemalloc`` to measure
+    per-subscriber memory and time only :func:`drive_scale`.
+    """
+
+    sim: Scheduler
+    federation: Federation
+    publishers: List[object]
+    clients: List[DurableSubscriber]
+    placed: Dict[str, List[str]]
+    n_subscribers: int
+    n_groups: int
+    events_per_pubend: int
+    rate_per_s: float
+    warmup_ms: float
+    drain_ms: float
+
+
+def scale_topology(n_subscribers: int) -> Dict[str, object]:
+    """Topology preset per scale point: wider and deeper as N grows."""
+    if n_subscribers <= 10_000:
+        # 2 trees x (1 level of 2 intermediates) x 8 SHBs = 32 SHBs.
+        return {"n_trees": 2, "fanout": (2,), "shbs_per_leaf": 8,
+                "spares_per_level": 1}
+    if n_subscribers <= 50_000:
+        # 2 trees x (2 x 2 levels) x 8 SHBs = 128 SHBs.
+        return {"n_trees": 2, "fanout": (2, 2), "shbs_per_leaf": 8,
+                "spares_per_level": 1}
+    # 2 trees x (2 x 3 levels) x 17 SHBs = 204 SHBs.
+    return {"n_trees": 2, "fanout": (2, 3), "shbs_per_leaf": 17,
+            "spares_per_level": 1}
+
+
+def prepare_scale(
+    n_subscribers: int,
+    n_groups: int = 500,
+    connected_clients: int = 24,
+    events_per_pubend: int = 800,
+    rate_per_s: float = 2_000.0,
+    warmup_ms: float = 2_500.0,
+    drain_ms: float = 1_500.0,
+    seed: int = 0,
+    topology: Optional[Dict[str, object]] = None,
+    **shb_kwargs: object,
+) -> ScaleSetup:
+    """Build a scale point: forest, headless durables, live clients.
+
+    ``n_subscribers`` durable subscriptions are placed across the
+    forest's SHBs; ``connected_clients`` of the load are real
+    :class:`DurableSubscriber` clients (ack timers, client links), the
+    rest are registered headless — a disconnected durable subscription
+    still costs its registry row, matching work and PFS records, which
+    is exactly the per-subscriber state under test.  Subscriptions
+    share ``n_groups`` distinct predicates (the shared-signature
+    regime), so each event matches ~``N_tree/n_groups`` subscribers in
+    its tree.
+
+    The per-SHB subscription refresh defaults to a period past the end
+    of the run: a full-registry anti-entropy resend of 10^5 rows per
+    tick would swamp a short scale run with control traffic that the
+    incremental ``SubscriptionAdd`` path already covers.
+    """
+    from ..client.publisher import PeriodicPublisher
+    from ..matching.predicates import In
+
+    shb_kwargs.setdefault("subscription_refresh_ms", 300_000.0)
+    topo = dict(topology or scale_topology(n_subscribers))
+    sim = Scheduler()
+    federation = build_deep_overlay(sim, **topo, **shb_kwargs)  # type: ignore[arg-type]
+    predicates = [In("group", (g,)) for g in range(n_groups)]
+
+    headless = n_subscribers - connected_clients
+    placed = place_durable_subscribers(
+        federation, headless, predicates, seed=seed, prefix="scale-s"
+    )
+
+    # Live clients ride on top: seeded placement, 8 per client machine.
+    rng_src = random.Random(f"scale-clients:{seed}")
+    shbs = federation.shbs
+    clients: List[DurableSubscriber] = []
+    machines: List[Node] = []
+    for i in range(connected_clients):
+        m_idx = i // 8
+        while m_idx >= len(machines):
+            machines.append(Node(sim, f"scale-m{len(machines) + 1}"))
+        sub = DurableSubscriber(
+            sim, f"scale-live{i}", machines[m_idx],
+            predicates[rng_src.randrange(n_groups)],
+        )
+        sub.connect(shbs[rng_src.randrange(len(shbs))])
+        clients.append(sub)
+
+    publishers: List[object] = []
+    for tree in federation.trees:
+        for pubend in tree.pubend_names:
+            pub = PeriodicPublisher(
+                sim, tree.phb, pubend, rate_per_s,
+                attribute_fn=lambda i: {"group": i % n_groups},
+            )
+            publishers.append(pub)
+    return ScaleSetup(
+        sim=sim,
+        federation=federation,
+        publishers=publishers,
+        clients=clients,
+        placed=placed,
+        n_subscribers=n_subscribers,
+        n_groups=n_groups,
+        events_per_pubend=events_per_pubend,
+        rate_per_s=rate_per_s,
+        warmup_ms=warmup_ms,
+        drain_ms=drain_ms,
+    )
+
+
+def drive_scale(setup: ScaleSetup) -> ScaleResult:
+    """Run a prepared scale point and report durable fan-out throughput.
+
+    The warmup run absorbs subscription-add propagation (10^5 control
+    messages crossing the forest) so the timed window measures the
+    steady state: publish → disseminate through the intermediate levels
+    → match at every SHB → PFS-log each matched subscriber → deliver to
+    the connected clients.
+    """
+    import time as _time
+
+    sim = setup.sim
+    federation = setup.federation
+    sim.run_until(setup.warmup_ms)
+    shbs = federation.shbs
+    writes_0 = sum(s.pfs.writes for s in shbs)
+    bytes_0 = sum(s.pfs.bytes_written for s in shbs)
+    publish_ms = setup.events_per_pubend * 1000.0 / setup.rate_per_s
+    for pub in setup.publishers:
+        pub.start(first_delay_ms=0.0)
+    stop_at = setup.warmup_ms + publish_ms
+    for pub in setup.publishers:
+        sim.at(stop_at, pub.stop)
+    t0 = _time.perf_counter()
+    sim.run_until(stop_at + setup.drain_ms)
+    drive_wall_s = _time.perf_counter() - t0
+    records = sum(s.pfs.writes for s in shbs) - writes_0
+    pfs_bytes = sum(s.pfs.bytes_written for s in shbs) - bytes_0
+    # Invert the record format (8 + 16n bytes): n summed over records.
+    matched_pairs = (pfs_bytes - 8 * records) // 16
+    return ScaleResult(
+        n_subscribers=setup.n_subscribers,
+        n_trees=len(federation.trees),
+        n_intermediates=sum(len(t.intermediates) for t in federation.trees),
+        n_shbs=len(shbs),
+        n_groups=setup.n_groups,
+        connected_clients=len(setup.clients),
+        events_published=sum(p.published for p in setup.publishers),
+        pfs_records=records,
+        pfs_bytes=pfs_bytes,
+        matched_pairs=int(matched_pairs),
+        client_events=sum(s.stats.events for s in setup.clients),
+        sim_ms=sim.now,
+        drive_wall_s=drive_wall_s,
+    )
+
+
+def run_scale(n_subscribers: int, **kwargs: object) -> ScaleResult:
+    """Build and run one scale point (see :func:`prepare_scale`)."""
+    return drive_scale(prepare_scale(n_subscribers, **kwargs))
 
 
 # ---------------------------------------------------------------------------

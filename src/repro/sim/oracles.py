@@ -157,6 +157,12 @@ def all_shbs(overlay: object, include_retired: bool = True) -> List[object]:
     ``overlay.retired``; their final durable state must still satisfy
     every invariant, so the oracles audit them too.
     """
+    trees = getattr(overlay, "trees", None)
+    if trees is not None:  # a Federation: audit every tree
+        shbs: List[object] = []
+        for tree in trees:
+            shbs.extend(all_shbs(tree, include_retired))
+        return shbs
     shbs = list(overlay.shbs)
     if include_retired:
         shbs.extend(
@@ -167,7 +173,13 @@ def all_shbs(overlay: object, include_retired: bool = True) -> List[object]:
 
 
 def check_chop_agreement(overlay: object) -> List[str]:
-    violations: List[str] = []
+    trees = getattr(overlay, "trees", None)
+    if trees is not None:  # a Federation: each tree checks on its own
+        violations: List[str] = []
+        for tree in trees:
+            violations.extend(check_chop_agreement(tree))
+        return violations
+    violations = []
     for name, pubend in sorted(overlay.phb.pubends.items()):
         released_bound = pubend.lost_below - 1
         log_chop = pubend.log.chopped_below

@@ -117,6 +117,38 @@ class TestExploreSmoke:
 
 
 # ---------------------------------------------------------------------------
+# Generated-forest ("scale") scenario
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def scale_census():
+    return cp.census("scale")
+
+
+class TestScaleScenario:
+    def test_census_covers_both_trees_and_failover_window(self, scale_census):
+        owners = {p.owner for p in scale_census}
+        assert {"phb1", "phb2"} <= owners
+        assert any(o and o.startswith("t1.") for o in owners)
+        assert any(o and o.startswith("t2.") for o in owners)
+        # Both spares take a subtree mid-script, so boundaries keep
+        # firing after the first failover at 1.2 s of simulated time.
+        assert len(scale_census) > 1_000
+
+    def test_census_is_deterministic(self, scale_census):
+        again = cp.census("scale")
+        assert [(p.seq, p.site, p.owner) for p in again] == [
+            (p.seq, p.site, p.owner) for p in scale_census
+        ]
+
+    def test_smoke_sweep_recovers(self):
+        summary = cp.explore(max_points=6, scenario="scale")
+        assert summary.baseline_violations == []
+        for outcome in summary.outcomes:
+            assert outcome.ok, outcome.violations
+            assert outcome.converged_at_ms is not None
+
+
+# ---------------------------------------------------------------------------
 # Opt-in full sweep
 # ---------------------------------------------------------------------------
 @pytest.mark.soak

@@ -1,0 +1,273 @@
+"""Differential tests for the scale representation work.
+
+The registry sharding, the interned cursor maps, the released column
+store and the sharded PFS index are all *representation-only*: every
+observable — membership, nums, released timestamps, coverage cursors,
+minima, crash/reopen results — must be identical to what a naive
+unsharded implementation produces.  These tests drive the real
+:class:`~repro.core.subscription.SubscriptionRegistry` and a
+deliberately dumb reference model through the same seeded operation
+stream (registration, acks, cursor raises, drops, commits, crashes)
+over both storage backends (bare tables and SimDisk-backed tables) and
+require observational equality at every checkpoint.
+
+The sharded PFS index gets the same treatment against a flat dict,
+including the chop-time ``prune_below`` sweep the shard floors exist
+to accelerate.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.subscription import SHARD_BITS, SubscriptionRegistry
+from repro.matching.predicates import In
+from repro.net.simtime import Scheduler
+from repro.pfs.pfs import _ShardedIndex
+from repro.storage.disk import SimDisk
+from repro.storage.table import PersistentTable
+from repro.util.errors import SubscriptionError
+
+PUBENDS = ("P1", "P2")
+
+
+class ReferenceRegistry:
+    """Unsharded, uncached, per-row-dict reference model.
+
+    Implements exactly the registry's observable contract with the
+    most obvious data structures: one dict per row, a committed
+    snapshot per commit, full scans for minima.  No shards, no caches,
+    no interning — if the real registry ever diverges from this, the
+    representation work changed behaviour.
+    """
+
+    def __init__(self):
+        self.rows = {}       # sub_id -> dict(num, predicate, released, pfs_from)
+        self.next_num = 0
+        self.committed = {"rows": {}, "next_num": 0}
+
+    @staticmethod
+    def _copy(rows):
+        return {
+            sub_id: {
+                "num": r["num"],
+                "predicate": r["predicate"],
+                "released": dict(r["released"]),
+                "pfs_from": dict(r["pfs_from"]),
+            }
+            for sub_id, r in rows.items()
+        }
+
+    def create(self, sub_id, predicate, pfs_from=None):
+        if sub_id in self.rows:
+            raise SubscriptionError(sub_id)
+        self.rows[sub_id] = {
+            "num": self.next_num,
+            "predicate": predicate,
+            "released": {},
+            "pfs_from": dict(pfs_from or {}),
+        }
+        self.next_num += 1
+
+    def ack(self, sub_id, pubend, t):
+        row = self.rows[sub_id]
+        if t > row["released"].get(pubend, -1):
+            row["released"][pubend] = t
+
+    def set_pfs_from(self, sub_id, pfs_from):
+        row = self.rows[sub_id]
+        for pubend, t in pfs_from.items():
+            if t > row["pfs_from"].get(pubend, 0):
+                row["pfs_from"][pubend] = t
+
+    def drop(self, sub_id):
+        self.rows.pop(sub_id, None)
+
+    def min_released(self, pubend):
+        if not self.rows:
+            return None
+        return min(r["released"].get(pubend, 0) for r in self.rows.values())
+
+    def commit(self):
+        # next_num does NOT persist independently: the real registry
+        # recovers it as max(committed nums) + 1, so a crash after
+        # dropping the highest-num row reuses that num.  Mirror that.
+        self.committed = {"rows": self._copy(self.rows)}
+
+    def crash_reset(self):
+        self.rows = self._copy(self.committed["rows"])
+        self.next_num = max(
+            (r["num"] for r in self.rows.values()), default=-1
+        ) + 1
+
+
+def _assert_equivalent(reg: SubscriptionRegistry, ref: ReferenceRegistry):
+    assert len(reg) == len(ref.rows)
+    seen_nums = set()
+    for sub_id, row in ref.rows.items():
+        sub = reg.get(sub_id)
+        assert sub is not None, sub_id
+        assert sub.num == row["num"]
+        assert sub.predicate == row["predicate"]
+        assert dict(sub.pfs_from) == row["pfs_from"]
+        assert reg.by_num(sub.num) is sub
+        seen_nums.add(sub.num)
+        for pubend in PUBENDS:
+            assert sub.released_for(pubend) == row["released"].get(pubend, 0)
+    for pubend in PUBENDS:
+        assert reg.min_released(pubend) == ref.min_released(pubend)
+    # by_num must miss for nums the reference doesn't host, including
+    # nums in occupied shards (a stale entry would alias PFS records).
+    for num in range(ref.next_num + 2):
+        if num not in seen_nums:
+            assert reg.by_num(num) is None
+
+
+def _run_op_stream(seed: int, backend: str, n_ops: int = 400):
+    sim = Scheduler()
+    if backend == "disk":
+        disk = SimDisk(sim, "diff-store")
+        subs_t = PersistentTable("diff.subs", disk)
+        rel_t = PersistentTable("diff.released", disk)
+    else:
+        subs_t = PersistentTable("diff.subs")
+        rel_t = PersistentTable("diff.released")
+    reg = SubscriptionRegistry(subs_t, rel_t)
+    ref = ReferenceRegistry()
+    rng = random.Random(f"registry-diff:{seed}")
+    predicates = [In("group", (g,)) for g in range(8)]
+    created = 0
+
+    def settle():
+        # Land any in-flight commit so both backends expose the same
+        # synchronous commit semantics to the crash step.
+        if backend == "disk":
+            sim.run_until(sim.now + 1_000.0)
+
+    for step in range(n_ops):
+        op = rng.random()
+        live = sorted(ref.rows)
+        if op < 0.35 or not live:
+            sub_id = f"d{created}"
+            created += 1
+            pfs_from = {
+                p: rng.randrange(50) for p in PUBENDS if rng.random() < 0.7
+            }
+            predicate = predicates[rng.randrange(len(predicates))]
+            reg.create(sub_id, predicate, pfs_from=pfs_from)
+            ref.create(sub_id, predicate, pfs_from=pfs_from)
+        elif op < 0.70:
+            sub_id = live[rng.randrange(len(live))]
+            pubend = PUBENDS[rng.randrange(len(PUBENDS))]
+            t = rng.randrange(200)  # non-monotone on purpose
+            reg.ack(sub_id, pubend, t)
+            ref.ack(sub_id, pubend, t)
+        elif op < 0.80:
+            sub_id = live[rng.randrange(len(live))]
+            raised = {p: rng.randrange(300) for p in PUBENDS}
+            reg.set_pfs_from(sub_id, raised)
+            ref.set_pfs_from(sub_id, raised)
+        elif op < 0.88:
+            sub_id = live[rng.randrange(len(live))]
+            reg.drop(sub_id)
+            ref.drop(sub_id)
+        elif op < 0.95:
+            reg.commit()
+            settle()
+            ref.commit()
+        else:
+            reg.commit()
+            settle()
+            ref.commit()
+            reg.crash_reset()
+            ref.crash_reset()
+        if step % 25 == 0:
+            _assert_equivalent(reg, ref)
+    _assert_equivalent(reg, ref)
+    # Final crash/reopen: committed state must round-trip exactly.
+    reg.commit()
+    settle()
+    ref.commit()
+    reg.crash_reset()
+    ref.crash_reset()
+    _assert_equivalent(reg, ref)
+
+
+@pytest.mark.parametrize("backend", ["memory", "disk"])
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_registry_matches_unsharded_reference(backend, seed):
+    _run_op_stream(seed, backend)
+
+
+def test_registry_reload_matches_reference_after_churn():
+    """A fresh registry over the same tables (new SHB process) sees
+    exactly what the reference's committed snapshot holds."""
+    subs_t = PersistentTable("reload.subs")
+    rel_t = PersistentTable("reload.released")
+    reg = SubscriptionRegistry(subs_t, rel_t)
+    ref = ReferenceRegistry()
+    rng = random.Random("reload-diff")
+    for i in range(60):
+        pfs_from = {"P1": rng.randrange(20)}
+        reg.create(f"r{i}", In("group", (i % 5,)), pfs_from=pfs_from)
+        ref.create(f"r{i}", reg.get(f"r{i}").predicate, pfs_from=pfs_from)
+        if rng.random() < 0.5:
+            t = rng.randrange(100)
+            reg.ack(f"r{i}", "P1", t)
+            ref.ack(f"r{i}", "P1", t)
+        if rng.random() < 0.2:
+            victim = f"r{rng.randrange(i + 1)}"
+            reg.drop(victim)
+            ref.drop(victim)
+    reg.commit()
+    ref.commit()
+    ref.crash_reset()  # reference's committed view
+    reg2 = SubscriptionRegistry(subs_t, rel_t)
+    _assert_equivalent(reg2, ref)
+
+
+class TestShardedIndexDifferential:
+    """_ShardedIndex vs a flat ``{num: index}`` dict."""
+
+    @pytest.mark.parametrize("seed", [11, 12])
+    def test_random_ops_match_flat_dict(self, seed):
+        rng = random.Random(f"index-diff:{seed}")
+        sharded = _ShardedIndex()
+        flat = {}
+        # Spread nums over several shards, indexes mostly increasing
+        # (PFS entries only move to newer records) with occasional
+        # out-of-order writes to stress the floor maintenance.
+        for step in range(2_000):
+            op = rng.random()
+            if op < 0.60:
+                num = rng.randrange(5 << SHARD_BITS)
+                idx = step * 8 if rng.random() < 0.9 else rng.randrange(200)
+                sharded[num] = idx
+                flat[num] = idx
+            elif op < 0.80 and flat:
+                num = rng.choice(sorted(flat))
+                assert sharded[num] == flat[num]
+                assert sharded.get(num) == flat[num]
+            elif op < 0.90:
+                chop = rng.randrange(step * 8 + 1)
+                sharded.prune_below(chop)
+                flat = {n: i for n, i in flat.items() if i > chop}
+            else:
+                num = rng.randrange(5 << SHARD_BITS)
+                assert (num in sharded) == (num in flat)
+                assert sharded.get(num, -1) == flat.get(num, -1)
+            if step % 200 == 0:
+                assert len(sharded) == len(flat)
+                assert dict(sharded.items()) == flat
+                assert sorted(sharded) == sorted(flat)
+        assert dict(sharded.items()) == flat
+
+    def test_prune_below_drops_at_or_below(self):
+        idx = _ShardedIndex()
+        for num, i in [(0, 10), (1, 20), (300, 5), (301, 40)]:
+            idx[num] = i
+        idx.prune_below(10)
+        assert 0 not in idx and 300 not in idx
+        assert idx[1] == 20 and idx[301] == 40
