@@ -26,6 +26,7 @@ from repro.sim.experiments import run_message_amplification
 
 from bench_latency import measure_latency_metrics
 from bench_matching import measure_baseline_metrics as measure_matching_metrics
+from bench_pfs_micro import measure_pfs_micro_metrics
 from bench_scalability import measure_scalability_metrics
 from bench_scale import measure_scale_metrics
 
@@ -69,6 +70,10 @@ HIGHER_IS_WORSE = {
     # (tracemalloc, deterministic per Python build).
     "scale_sim_events_per_wall_s_100k": False,
     "scale_bytes_per_subscriber": True,
+    # Columnar PFS write path (benchmarks/bench_pfs_micro.py): batch
+    # appends (pump advances) per wall-clock second on real file I/O —
+    # gates the representation collapsing back to per-tick appends.
+    "pfs_batch_appends_per_s": False,
     # Traced latency histograms (benchmarks/bench_latency.py): p50/p99
     # publish→deliver and the reconnect catchup lag, simulated time, so
     # deterministic; sample counts gate the tracer itself (a sampling
@@ -92,6 +97,7 @@ TOLERANCES["scalability_sim_events_per_wall_s"] = 0.60  # wall-clock
 TOLERANCES["scalability_efficiency_smoke"] = 0.02       # deterministic
 TOLERANCES["scale_sim_events_per_wall_s_100k"] = 0.60   # wall-clock
 TOLERANCES["scale_bytes_per_subscriber"] = 0.20         # allocator-level
+TOLERANCES["pfs_batch_appends_per_s"] = 0.60            # real file I/O
 
 
 def measure() -> dict:
@@ -116,6 +122,7 @@ def measure() -> dict:
     out.update(measure_latency_metrics())
     out.update(measure_scalability_metrics())
     out.update(measure_scale_metrics())
+    out.update(measure_pfs_micro_metrics())
     return out
 
 

@@ -910,12 +910,11 @@ class SubscriberHostingBroker(Broker):
                 if via_catchup
                 else self.costs.deliver_event_ms
             )
+            self.events_enqueued += 1
         else:
             cost = self.costs.deliver_control_ms
-        if isinstance(msg, M.EventMessage):
-            self.events_enqueued += 1
-        elif isinstance(msg, M.GapMessage):
-            self.gaps_enqueued += 1
+            if isinstance(msg, M.GapMessage):
+                self.gaps_enqueued += 1
         enqueued_ms = self.scheduler.now
         self.node.submit(
             cost,

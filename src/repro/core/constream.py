@@ -223,28 +223,51 @@ class ConsolidatedStream:
         match_sets = self.engine.match_at_batch(
             [(event.event_id, event.attributes) for _t, event in live]
         )
-        # Pass 2 — deliver: per tick in order, exactly the pre-batch
-        # sequence of PFS writes and subscriber handoffs.  Event
-        # messages carry no per-subscriber state and nothing on the
-        # delivery path mutates a payload (see Frame), so one shared
-        # message per tick fans out to every subscriber.
+        # Pass 2 — PFS: collect the advance's Q ticks and hand the PFS
+        # ONE columnar append for the whole advance.  The PFS stages
+        # the identical per-tick logical disk writes (so sync batching
+        # and durability-ack order are byte-identical to the per-tick
+        # write loop) and acknowledges each tick through
+        # ``_pfs_durable`` as it becomes crash-safe.
+        items: List = []
+        prev_set = None
+        nums: List[int] = []
+        for (t, event), matched in zip(live, match_sets):
+            if self._tracer.tracing:
+                self._tracer.on_match(event.event_id, self.pubend)
+            if matched is not prev_set:
+                # The engine memoizes match sets per attribute set, so a
+                # run of ticks hands back the same frozenset object —
+                # resolve it to PFS nums once per run, not per tick.
+                prev_set = matched
+                nums = self._nums_for(matched)
+            if nums:
+                # The PFS logs the Q tick for every matching durable
+                # subscriber, connected or not.
+                items.append((t, nums))
+        if items:
+            self._pending_pfs.extend(t for t, _nums in items)
+            self.pfs.write_batch(self.pubend, items, on_durable=self._pfs_durable)
+        # Pass 3 — deliver: per tick in order, exactly the pre-batch
+        # sequence of subscriber handoffs.  Event messages carry no
+        # per-subscriber state and nothing on the delivery path mutates
+        # a payload (see Frame), so one shared message per tick fans
+        # out to every subscriber.
         batches: Optional[Dict[str, List[EventMessage]]] = (
             {} if self.deliver_batch is not None else None
         )
         if batches is None:
             for (t, event), matched in zip(live, match_sets):
-                if self._tracer.tracing:
-                    self._tracer.on_match(event.event_id, self.pubend)
-                nums = self._nums_for(matched)
-                if nums:
-                    # The PFS logs the Q tick for every matching durable
-                    # subscriber, connected or not.
-                    self._pending_pfs.append(t)
-                    self.pfs.write(self.pubend, t, nums, on_durable=lambda t=t: self._pfs_durable(t))
-                msg = EventMessage(self.pubend, t, event)
+                msg: Optional[EventMessage] = None
                 for sub_id in matched:
                     last_sent = self._non_catchup.get(sub_id)
                     if last_sent is not None and t > last_sent:
+                        if msg is None:
+                            # Pooled across the fan-out loop: one shared
+                            # message per tick, and none at all when no
+                            # connected subscriber wants the tick (the
+                            # common case at scale — headless durables).
+                            msg = EventMessage(self.pubend, t, event)
                         self.deliver(sub_id, msg)
                         self._non_catchup[sub_id] = t
                         self.events_delivered += 1
@@ -274,8 +297,9 @@ class ConsolidatedStream:
         Equivalence with the per-tick loop (this path feeds the pinned
         determinism digests, so it must be exact):
 
-        * PFS writes, pending-PFS bookkeeping and trace notes stay per
-          tick, in tick order — only the subscriber loop is hoisted.
+        * PFS writes, pending-PFS bookkeeping and trace notes already
+          happened in ``_pump_once``'s collection pass, per tick in
+          tick order — only the subscriber loop lives here.
         * The fast path requires every listed subscriber to be strictly
           behind the run (``last_sent < first tick``).  Then the
           per-tick loop would touch each of them first at the run's
@@ -300,16 +324,6 @@ class ConsolidatedStream:
                 j += 1
             run = live[i:j]
             i = j
-            nums = self._nums_for(matched)
-            for t, event in run:
-                if self._tracer.tracing:
-                    self._tracer.on_match(event.event_id, self.pubend)
-                if nums:
-                    self._pending_pfs.append(t)
-                    self.pfs.write(
-                        self.pubend, t, nums,
-                        on_durable=lambda t=t: self._pfs_durable(t),
-                    )
             order = self._order_for(matched)
             t0 = run[0][0]
             plan = []
@@ -337,10 +351,12 @@ class ConsolidatedStream:
                         self.events_delivered += delivered
             else:
                 for t, event in run:
-                    msg = EventMessage(self.pubend, t, event)
+                    msg: Optional[EventMessage] = None
                     for sub_id in order:
                         last_sent = self._non_catchup.get(sub_id)
                         if last_sent is not None and t > last_sent:
+                            if msg is None:
+                                msg = EventMessage(self.pubend, t, event)
                             batches.setdefault(sub_id, []).append(msg)
                             self._non_catchup[sub_id] = t
                             self.events_delivered += 1

@@ -35,6 +35,11 @@ class PerSubscriberEventLogs:
         self._index_by_ts: Dict[str, List[Tuple[int, int]]] = {}
         self.appends = 0
         self.bytes_written = 0
+        #: ``append_batch`` calls (the per-advance grouping mirror of
+        #: the PFS's ``batch_appends``) — the baseline still pays one
+        #: physical append per (event, subscriber) pair either way,
+        #: which is exactly the cost the paper argues against.
+        self.batch_appends = 0
 
     def _stream(self, sub_id: str) -> LogStream:
         stream = self._streams.get(sub_id)
@@ -68,6 +73,34 @@ class PerSubscriberEventLogs:
                 on_durable()
         else:
             self.disk.write(total, on_durable)
+        return total
+
+    def append_batch(
+        self,
+        items: List[Tuple[Event, List[str]]],
+        on_durable: Optional[Callable[[int], None]] = None,
+    ) -> int:
+        """Ablation parity for :meth:`PersistentFilteringSubsystem.write_batch`.
+
+        One call per pump advance, ``items`` ascending by event
+        timestamp.  The MQ-style design has no columnar representation
+        to exploit: each event is still copied once per matching
+        subscriber, so batching only amortizes the call overhead.
+        ``on_durable`` receives each event's timestamp as its copies
+        become crash-safe, in item order.
+        """
+        total = 0
+        self.batch_appends += 1
+        for event, matching_subs in items:
+            size = self.append_event(
+                event,
+                matching_subs,
+                on_durable=(
+                    None if on_durable is None
+                    else (lambda t=event.timestamp: on_durable(t))
+                ),
+            )
+            total += size
         return total
 
     @staticmethod

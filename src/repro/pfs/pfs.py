@@ -4,12 +4,18 @@ The PFS stores, durably, *which events matched which durable
 subscribers*, so a reconnecting subscriber's catchup stream learns its
 missed Q ticks without retrieving and refiltering events.
 
-Write path (used by the consolidated stream): one record per timestamp
-that is Q for at least one subscriber — the record holds the timestamp
-and the matching subscriber list with per-subscriber backpointers
-(:mod:`repro.pfs.records`).  Timestamps with no matches write nothing.
-All pubends known to the SHB share one
-:class:`~repro.storage.logvolume.LogVolume`, one log stream each.
+Write path (used by the consolidated stream): logically one record per
+timestamp that is Q for at least one subscriber — the record holds the
+timestamp and the matching subscriber list with per-subscriber
+backpointers (:mod:`repro.pfs.records`).  Timestamps with no matches
+write nothing.  Physically the constream hands the PFS one
+:meth:`~PersistentFilteringSubsystem.write_batch` per pump advance and
+the whole advance lands as a single columnar
+:class:`~repro.pfs.records.PFSRecordBatch` append; the row-record
+:meth:`~PersistentFilteringSubsystem.write` path remains for
+single-tick writers and on-disk compatibility.  All pubends known to
+the SHB share one :class:`~repro.storage.logvolume.LogVolume`, one log
+stream each.
 
 Read path (used by catchup streams): a *batch read* for subscriber *s*
 after timestamp *a* walks the backpointer chain from ``lastIndex(s)``
@@ -42,7 +48,12 @@ from ..sim.crashpoints import HOOKS
 from ..storage.disk import SimDisk
 from ..storage.logvolume import LogStream, LogVolume
 from ..util.errors import RecordNotFoundError, StorageError
-from .records import NO_PREVIOUS, PFSRecord
+from .records import NO_PREVIOUS, PFSRecord, PFSRecordBatch, decode_record
+
+#: Footnote-2 component sizes: the logical per-tick disk footprint is
+#: ``8 + 16n`` bytes regardless of the physical record representation.
+_TS_SIZE = 8
+_ENTRY_SIZE = 16
 
 
 class _ShardedIndex:
@@ -171,6 +182,12 @@ class PersistentFilteringSubsystem:
         self._pubends: Dict[str, _PubendState] = {}
         self.writes = 0
         self.bytes_written = 0
+        #: Physical appends/bytes of columnar batch records.  ``writes``
+        #: and ``bytes_written`` stay *logical* (one footnote-2 record
+        #: per Q tick) whichever representation carried them, so every
+        #: paper-facing accounting is representation-independent.
+        self.batch_appends = 0
+        self.batch_bytes_appended = 0
         self.reads = 0
         self.reads_reaching_last = 0
         #: Batch reads that hit a backpointer-chain break (a record
@@ -265,6 +282,99 @@ class PersistentFilteringSubsystem:
             self.disk.write(record.size_bytes, durable)
         return record.size_bytes
 
+    def write_batch(
+        self,
+        pubend: str,
+        items: List,
+        on_durable: Optional[Callable[[int], None]] = None,
+    ) -> int:
+        """Log one pump advance's Q ticks as a single columnar append.
+
+        ``items`` is ``[(timestamp, subscriber_nums), ...]`` in strictly
+        ascending tick order, every nums list non-empty.  Logically this
+        is exactly ``write(pubend, t, nums)`` per item — same counters,
+        same per-tick disk traffic (one logical 8+16n write each, so
+        sync batching and ack order are byte-identical to the row path),
+        same replay idempotence — but the stream carries ONE
+        :class:`~repro.pfs.records.PFSRecordBatch` instead of one row
+        record per tick.  ``on_durable`` receives each tick's timestamp
+        as it becomes crash-safe, in tick order.
+
+        Returns the physical bytes appended (0 for a pure replay).
+        """
+        state = self._state(pubend)
+        n = len(items)
+        i = 0
+        # Replay prefix after an SHB crash: the identical ticks are
+        # already durably in the stream (matching is deterministic), so
+        # acknowledge them synchronously without re-appending.
+        while i < n:
+            timestamp, nums = items[i]
+            if not nums:
+                raise ValueError("PFS write requires at least one matching subscriber")
+            if timestamp < state.chopped_from_ts:
+                raise StorageError(
+                    f"PFS write at {timestamp} below chop point {state.chopped_from_ts}"
+                )
+            if timestamp > state.last_timestamp:
+                break
+            if on_durable is not None:
+                on_durable(timestamp)
+            i += 1
+        if i == n:
+            return 0
+        fresh = items[i:] if i else items
+        if HOOKS.enabled:
+            # Crash here: nothing of this advance exists anywhere.
+            HOOKS.fire("pfs.write_batch.pre", self.owner)
+        batch = PFSRecordBatch.build(fresh, state.last_index)
+        index = state.stream.append(batch.encode())
+        for num, _prev in batch.sub_table:
+            state.last_index[num] = index
+        state.last_timestamp = batch.newest_timestamp
+        self.writes += len(fresh)
+        self.bytes_written += batch.logical_size_bytes
+        self.batch_appends += 1
+        self.batch_bytes_appended += batch.size_bytes
+        if HOOKS.enabled:
+            # Crash here: appended and indexed in memory, but no sync
+            # covers any tick of the batch — the whole record vanishes.
+            HOOKS.fire("pfs.write_batch.post", self.owner)
+        if self.disk is None:
+            for timestamp, _nums in fresh:
+                self._tick_durable(state, index, timestamp, on_durable)
+        else:
+            for timestamp, nums in fresh:
+                self.disk.write(
+                    _TS_SIZE + _ENTRY_SIZE * len(nums),
+                    lambda t=timestamp: self._tick_durable(state, index, t, on_durable),
+                )
+        return batch.size_bytes
+
+    def _tick_durable(
+        self,
+        state: "_PubendState",
+        index: int,
+        timestamp: int,
+        on_durable: Optional[Callable[[int], None]],
+    ) -> None:
+        """One batch tick's sync completed (ticks share the batch index).
+
+        The first tick's ack already makes the whole batch record
+        durable — a crash between two ticks' acks keeps the full batch,
+        which is safe because replayed writes at or below
+        ``last_timestamp`` are acknowledged without re-appending.
+        """
+        if HOOKS.enabled:
+            # Crash here: synced, durable horizon not yet advanced.
+            HOOKS.fire("pfs.durable.pre", self.owner)
+        state.durable_next_index = max(state.durable_next_index, index + 1)
+        if HOOKS.enabled:
+            # Crash here: durable, latestDelivered never advanced.
+            HOOKS.fire("pfs.durable.post", self.owner)
+        if on_durable is not None:
+            on_durable(timestamp)
+
     def flush(self) -> None:
         """Flush the backing volume (real-file microbenchmark mode)."""
         self.volume.flush()
@@ -320,12 +430,43 @@ class PersistentFilteringSubsystem:
         pushed = 0
         truncated = False
         index = state.last_index.get(subscriber_num, NO_PREVIOUS)
-        while index != NO_PREVIOUS and index >= state.stream.chopped_below:
+        done = False
+        while not done and index != NO_PREVIOUS and index >= state.stream.chopped_below:
             try:
-                record = PFSRecord.decode(state.stream.read(index))
+                record = decode_record(state.stream.read(index))
             except RecordNotFoundError:
                 truncated = True
                 break
+            if type(record) is PFSRecordBatch:
+                # Intra-batch traversal: the subscriber's chain inside
+                # the batch is its member ticks, walked newest→oldest.
+                # ``visited`` counts *logical* (per-tick) records so
+                # the catchup CPU model is representation-independent.
+                prev = record.prev_index_of(subscriber_num)
+                if prev is None:
+                    # Stale index entry (chop/recovery race): the batch
+                    # does not carry this subscriber at all.
+                    visited += 1
+                    truncated = True
+                    break
+                for i in reversed(record.ticks_for(subscriber_num)):
+                    t = record.timestamps[i]
+                    if t < state.chopped_from_ts:
+                        # The row representation would have chopped
+                        # this tick's record; a straddling batch keeps
+                        # it physically, but the walk must not visit
+                        # or vouch for released ticks.
+                        done = True
+                        break
+                    visited += 1
+                    if t <= after:
+                        done = True
+                        break
+                    ring.append(t)
+                    pushed += 1
+                else:
+                    index = prev
+                continue
             visited += 1
             if record.timestamp <= after:
                 break
@@ -380,11 +521,19 @@ class PersistentFilteringSubsystem:
         last_chopped_index = None
         index = stream.chopped_below
         while index < min(stream.next_index, state.durable_next_index):
-            record = PFSRecord.decode(stream.read(index))
-            if record.timestamp >= timestamp:
-                break
+            record = decode_record(stream.read(index))
+            if type(record) is PFSRecordBatch:
+                # A batch is discarded only when its *newest* tick is
+                # below the chop point; a straddling batch stays whole
+                # (readers filter its released ticks via known_from).
+                if record.newest_timestamp >= timestamp:
+                    break
+                chopped += record.n_ticks
+            else:
+                if record.timestamp >= timestamp:
+                    break
+                chopped += 1
             last_chopped_index = index
-            chopped += 1
             index += 1
         if last_chopped_index is not None:
             stream.chop(last_chopped_index)
@@ -414,8 +563,13 @@ class PersistentFilteringSubsystem:
             state.last_timestamp = state.chopped_from_ts
             stream = state.stream
             for index in range(stream.chopped_below, stream.next_index):
-                record = PFSRecord.decode(stream.read(index))
+                record = decode_record(stream.read(index))
+                newest = (
+                    record.newest_timestamp
+                    if type(record) is PFSRecordBatch
+                    else record.timestamp
+                )
                 for num in record.subscribers():
                     state.last_index[num] = index
-                state.last_timestamp = max(state.last_timestamp, record.timestamp)
+                state.last_timestamp = max(state.last_timestamp, newest)
             state.durable_next_index = stream.next_index

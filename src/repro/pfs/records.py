@@ -14,21 +14,45 @@ The layout reproduced here:
 
 The "first record for this subscriber" backpointer (the paper's ⊥) is
 encoded as -1.
+
+Columnar batches
+----------------
+
+:class:`PFSRecordBatch` packs every Q tick of one pump advance into a
+single log record laid out column-wise: one timestamps array, one
+packed subscriber-num column indexed by per-tick ``(offset, count)``
+slices, and one per-subscriber backpointer table.  Consecutive ticks
+matching the same subscriber set *share* one column slice, so a run of
+k ticks with n matchers stores n nums once instead of k times.  The
+batch is purely a storage/CPU representation: the logical content is
+exactly the sequence of row records the same ticks would have written,
+and every reader (:meth:`PFSRecordBatch.ticks_for`, the recovery scan,
+the chop sweep) reproduces the row semantics tick by tick.
+
+A batch record is distinguished from a row record by its first 8
+bytes: row records start with a non-negative timestamp, batches with
+the negative :data:`BATCH_TAG`.  :func:`decode_record` dispatches.
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..util.errors import CorruptLogError
 
 #: Backpointer value meaning "no earlier record contains this subscriber".
 NO_PREVIOUS = -1
 
+#: First-8-bytes sentinel marking a columnar batch record.  Row-record
+#: timestamps are >= 0 on the wire (the protocol's tick domain), so any
+#: negative leading int64 unambiguously tags a batch.
+BATCH_TAG = -2
+
 _TS = struct.Struct("<q")
 _ENTRY = struct.Struct("<qq")
+_BATCH_HEADER = struct.Struct("<qqqq")  # tag, n_ticks, n_subs, column_len
 
 
 @dataclass(frozen=True)
@@ -88,3 +112,195 @@ class PFSRecord:
             (num, last_index.get(num, NO_PREVIOUS)) for num in sorted(subscriber_nums)
         )
         return cls(timestamp, entries)
+
+
+@dataclass(frozen=True)
+class PFSRecordBatch:
+    """One pump advance's Q ticks as a single columnar log record.
+
+    Array-of-struct layout: ``timestamps[i]`` is tick i's timestamp
+    (ascending), ``column[offsets[i] : offsets[i] + counts[i]]`` its
+    sorted matching subscriber nums, and ``sub_table`` maps each
+    distinct subscriber num in the batch to the index of the previous
+    *stream record* containing it (NO_PREVIOUS for a first appearance).
+    Runs of ticks with identical matcher sets alias one column slice.
+
+    Logically the batch *is* the row records ``(timestamps[i],
+    nums_i)`` in order; each subscriber's intra-batch backpointer chain
+    is implicit (its ticks within the batch, newest to oldest) and the
+    chain leaves the batch through ``sub_table``.
+    """
+
+    timestamps: Tuple[int, ...]
+    #: per-tick ``(offset, count)`` slices into :attr:`column`.
+    slices: Tuple[Tuple[int, int], ...]
+    #: packed subscriber-num column (each slice sorted ascending).
+    column: Tuple[int, ...]
+    #: distinct subscriber num -> pre-batch backpointer, sorted by num.
+    sub_table: Tuple[Tuple[int, int], ...]
+
+    @property
+    def n_ticks(self) -> int:
+        return len(self.timestamps)
+
+    @property
+    def newest_timestamp(self) -> int:
+        return self.timestamps[-1]
+
+    @property
+    def oldest_timestamp(self) -> int:
+        return self.timestamps[0]
+
+    @property
+    def size_bytes(self) -> int:
+        """Physical frame size of the encoded batch."""
+        return _BATCH_HEADER.size + 8 * (
+            len(self.timestamps) + 2 * len(self.slices)
+            + len(self.column) + 2 * len(self.sub_table)
+        )
+
+    @property
+    def logical_size_bytes(self) -> int:
+        """Sum of the footnote-2 sizes of the equivalent row records."""
+        return sum(8 + 16 * count for _off, count in self.slices)
+
+    def subscribers(self) -> List[int]:
+        """Distinct subscriber nums in the batch (ascending)."""
+        return [num for num, _prev in self.sub_table]
+
+    def prev_index_of(self, subscriber_num: int) -> Optional[int]:
+        """The pre-batch backpointer, or None if the sub isn't present."""
+        table = self.sub_table
+        lo, hi = 0, len(table)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if table[mid][0] < subscriber_num:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(table) and table[lo][0] == subscriber_num:
+            return table[lo][1]
+        return None
+
+    def nums_at(self, i: int) -> Tuple[int, ...]:
+        """Tick i's sorted matching subscriber nums."""
+        offset, count = self.slices[i]
+        return self.column[offset : offset + count]
+
+    def ticks_for(self, subscriber_num: int) -> List[int]:
+        """Tick positions (ascending) whose match set contains the sub.
+
+        Slices are aliased across runs, so membership is tested once
+        per distinct slice, not once per tick.
+        """
+        verdicts: Dict[Tuple[int, int], bool] = {}
+        out: List[int] = []
+        for i, sl in enumerate(self.slices):
+            hit = verdicts.get(sl)
+            if hit is None:
+                offset, count = sl
+                hit = verdicts[sl] = (
+                    subscriber_num in self.column[offset : offset + count]
+                )
+            if hit:
+                out.append(i)
+        return out
+
+    def encode(self) -> bytes:
+        flat: List[int] = [
+            BATCH_TAG, len(self.timestamps), len(self.sub_table), len(self.column),
+        ]
+        flat.extend(self.timestamps)
+        for offset, count in self.slices:
+            flat.append(offset)
+            flat.append(count)
+        flat.extend(self.column)
+        for num, prev in self.sub_table:
+            flat.append(num)
+            flat.append(prev)
+        return struct.pack(f"<{len(flat)}q", *flat)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "PFSRecordBatch":
+        if len(data) < _BATCH_HEADER.size or len(data) % 8 != 0:
+            raise CorruptLogError(f"bad PFS batch length {len(data)}")
+        tag, n_ticks, n_subs, col_len = _BATCH_HEADER.unpack_from(data, 0)
+        if tag != BATCH_TAG:
+            raise CorruptLogError(f"bad PFS batch tag {tag}")
+        n_words = (len(data) - _BATCH_HEADER.size) // 8
+        expect = n_ticks + 2 * n_ticks + col_len + 2 * n_subs
+        if n_ticks <= 0 or n_subs < 0 or col_len < 0 or n_words != expect:
+            raise CorruptLogError(
+                f"inconsistent PFS batch geometry: {n_ticks} ticks, "
+                f"{n_subs} subs, column {col_len}, {n_words} words"
+            )
+        words = struct.unpack_from(f"<{n_words}q", data, _BATCH_HEADER.size)
+        pos = n_ticks
+        timestamps = tuple(words[:pos])
+        slices = tuple(
+            (words[pos + 2 * i], words[pos + 2 * i + 1]) for i in range(n_ticks)
+        )
+        pos += 2 * n_ticks
+        column = tuple(words[pos : pos + col_len])
+        pos += col_len
+        sub_table = tuple(
+            (words[pos + 2 * i], words[pos + 2 * i + 1]) for i in range(n_subs)
+        )
+        batch = cls(timestamps, slices, column, sub_table)
+        for offset, count in slices:
+            if offset < 0 or count <= 0 or offset + count > col_len:
+                raise CorruptLogError("PFS batch slice out of bounds")
+        return batch
+
+    @classmethod
+    def build(
+        cls,
+        items: Sequence[Tuple[int, Sequence[int]]],
+        last_index: Dict[int, int],
+    ) -> "PFSRecordBatch":
+        """Assemble a batch from ``[(timestamp, subscriber_nums), ...]``.
+
+        Timestamps must be strictly ascending and every nums list
+        non-empty.  Consecutive items handing in the *same* nums object
+        (the constream's memoized match sets) share one column slice;
+        each list is sorted once per distinct object.  ``last_index``
+        supplies the pre-batch backpointers and is NOT mutated — the
+        caller advances it to the batch's stream index afterwards.
+        """
+        if not items:
+            raise ValueError("PFS batches are only written for >= 1 Q tick")
+        timestamps: List[int] = []
+        slices: List[Tuple[int, int]] = []
+        column: List[int] = []
+        seen_slice: Dict[int, Tuple[int, int]] = {}  # id(nums) -> slice
+        sub_set: set = set()
+        for timestamp, nums in items:
+            if not nums:
+                raise ValueError("PFS records are only written for n > 0 matches")
+            if timestamps and timestamp <= timestamps[-1]:
+                raise ValueError(
+                    f"non-monotonic batch tick {timestamp} <= {timestamps[-1]}"
+                )
+            timestamps.append(timestamp)
+            sl = seen_slice.get(id(nums))
+            if sl is None:
+                ordered = sorted(nums)
+                sl = (len(column), len(ordered))
+                column.extend(ordered)
+                seen_slice[id(nums)] = sl
+                sub_set.update(ordered)
+            slices.append(sl)
+        sub_table = tuple(
+            (num, last_index.get(num, NO_PREVIOUS)) for num in sorted(sub_set)
+        )
+        return cls(tuple(timestamps), tuple(slices), tuple(column), sub_table)
+
+
+AnyPFSRecord = Union[PFSRecord, PFSRecordBatch]
+
+
+def decode_record(data: bytes) -> AnyPFSRecord:
+    """Decode either record kind, dispatching on the leading int64."""
+    if len(data) >= _TS.size and _TS.unpack_from(data, 0)[0] == BATCH_TAG:
+        return PFSRecordBatch.decode(data)
+    return PFSRecord.decode(data)

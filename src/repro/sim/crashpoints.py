@@ -24,7 +24,11 @@ Mechanics
 * A **census** run installs a recording listener and replays the
   scripted scenario once, yielding the ordered list of crash points:
   firing ``seq`` (ordinal), ``site`` (e.g. ``pfs.durable.pre``) and
-  ``owner`` (the broker whose storage fired).
+  ``owner`` (the broker whose storage fired).  Sites are free-form —
+  when the PFS hot path moved from per-record appends
+  (``pfs.write.pre``) to columnar batches (``pfs.write_batch.pre``,
+  one firing per pump advance), the census discovered the new
+  boundaries without any change here.
 
 * An **injection** run installs a listener armed with one target
   ``seq``.  The simulation prefix is deterministic, so the target

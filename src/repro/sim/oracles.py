@@ -87,7 +87,7 @@ def check_delivery(
 # 3: PFS backpointer-chain integrity
 # ----------------------------------------------------------------------
 def check_pfs_chains(shb: object) -> List[str]:
-    from ..pfs.records import NO_PREVIOUS, PFSRecord
+    from ..pfs.records import NO_PREVIOUS, PFSRecordBatch, decode_record
 
     violations: List[str] = []
     for pubend, state in sorted(shb.pfs._pubends.items()):
@@ -110,20 +110,37 @@ def check_pfs_chains(shb: object) -> List[str]:
                     )
                     break
                 try:
-                    record = PFSRecord.decode(stream.read(index))
+                    record = decode_record(stream.read(index))
                 except Exception as exc:  # noqa: BLE001 - oracle boundary
                     violations.append(
                         f"{shb.name}/{pubend}/sub{num}: unreadable record "
                         f"at index {index}: {exc!r}"
                     )
                     break
-                if prev_ts is not None and record.timestamp >= prev_ts:
-                    violations.append(
-                        f"{shb.name}/{pubend}/sub{num}: non-decreasing "
-                        f"timestamp {record.timestamp} at index {index}"
-                    )
+                # The logical chain: the subscriber's ticks within this
+                # record, newest to oldest (a row record has one; a
+                # columnar batch any number), then the pre-record
+                # backpointer.  Timestamps must strictly decrease across
+                # the whole walk.
+                if isinstance(record, PFSRecordBatch):
+                    ticks = [
+                        record.timestamps[i]
+                        for i in reversed(record.ticks_for(num))
+                    ]
+                else:
+                    ticks = [record.timestamp]
+                bad_ts = False
+                for t in ticks:
+                    if prev_ts is not None and t >= prev_ts:
+                        violations.append(
+                            f"{shb.name}/{pubend}/sub{num}: non-decreasing "
+                            f"timestamp {t} at index {index}"
+                        )
+                        bad_ts = True
+                        break
+                    prev_ts = t
+                if bad_ts:
                     break
-                prev_ts = record.timestamp
                 prev = record.prev_index_of(num)
                 if prev is None:
                     violations.append(

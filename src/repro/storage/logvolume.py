@@ -152,7 +152,6 @@ class MemoryBackend:
         # until we hit already-removed entries.
         i = up_to_index
         while i >= 0 and (stream_id, i) in self._records:
-            self.bytes_appended -= 0  # chop frees space; counter tracks appends only
             del self._records[(stream_id, i)]
             i -= 1
 
@@ -319,6 +318,14 @@ class LogVolume:
 
     @property
     def bytes_appended(self) -> int:
+        """Physical payload bytes appended across all streams.
+
+        The PFS's own ``bytes_written`` is deliberately *logical*
+        (footnote-2 accounting, representation-independent); this
+        counter is where a columnar batch's smaller physical footprint
+        — shared column slices, one backpointer table per batch —
+        actually shows up.
+        """
         return self._backend.bytes_appended  # type: ignore[attr-defined]
 
     def flush(self) -> None:

@@ -211,3 +211,137 @@ class TestReleased:
         assert env.cs.committed_latest_delivered == 0
         env.meta.commit()
         assert env.cs.committed_latest_delivered == 9
+
+
+class BatchEnv(Env):
+    """Env with the batched fan-out path enabled (``deliver_batch``).
+
+    Batched deliveries are flattened into ``delivered`` in arrival
+    order so a batched run is directly comparable to a non-batched one.
+    """
+
+    def __init__(self, with_disk=False):
+        super().__init__(with_disk=with_disk)
+        self.cs.deliver_batch = self._deliver_batch
+
+    def _deliver_batch(self, sub_id, msgs):
+        for msg in msgs:
+            self.delivered.append((sub_id, msg))
+
+
+class TestBatchedVsNonBatchedExpiration:
+    """Satellite audit: expiration must be decided once, in the shared
+    classify pass, so an expiring workload behaves identically with
+    batched fan-out on and off — same skips, same PFS records, same
+    deliveries, same cursor."""
+
+    def _drive(self, env):
+        env.add_sub("s1", Eq("g", 0))
+        env.add_sub("s2", Everything())
+        # Advance the clock so expires_at below now is genuinely stale.
+        env.sim.run_until(50.0)
+        # Mixed advance: live, already-expired, never-expiring events,
+        # interleaved with silence; one event expires mid-workload.
+        env.cs.accumulate(upd(
+            d=[
+                Event("P1", 2, {"g": 0}, expires_at=10),   # expired
+                Event("P1", 4, {"g": 0}),                  # live
+                Event("P1", 5, {"g": 1}, expires_at=40),   # expired
+            ],
+            s=[(1, 1), (3, 3)],
+        ))
+        env.sim.run_until(80.0)
+        env.cs.accumulate(upd(
+            d=[
+                Event("P1", 7, {"g": 1}, expires_at=1000), # live
+                Event("P1", 9, {"g": 0}, expires_at=60),   # expired
+            ],
+            s=[(6, 6), (8, 8)],
+        ))
+        env.sim.run_until(120.0)
+        return env
+
+    def test_expired_asymmetry_absent(self):
+        plain = self._drive(Env())
+        batched = self._drive(BatchEnv())
+
+        assert plain.cs.expired_skipped == batched.cs.expired_skipped == 3
+        assert plain.pfs.writes == batched.pfs.writes == 2
+        # Intra-tick fan-out order is path-specific (the per-tick loop
+        # iterates the memoized match set, the batched loop its sorted
+        # order); the per-tick delivery *sets* must agree exactly.
+        assert sorted((m.t, sid) for sid, m in plain.delivered) == \
+            sorted((m.t, sid) for sid, m in batched.delivered) == \
+            [(4, "s1"), (4, "s2"), (7, "s2")]
+        assert plain.cs.latest_delivered == batched.cs.latest_delivered == 9
+        # Expired ticks look like silence to catchup reads on both.
+        for env in (plain, batched):
+            nums = {sid: env.registry.get(sid).num for sid in ("s1", "s2")}
+            assert env.pfs.read_batch("P1", nums["s1"], 0).q_ticks == [4]
+            assert env.pfs.read_batch("P1", nums["s2"], 0).q_ticks == [4, 7]
+
+    def test_expired_asymmetry_absent_under_disk(self):
+        plain = self._drive(Env(with_disk=True))
+        batched = self._drive(BatchEnv(with_disk=True))
+        assert plain.cs.expired_skipped == batched.cs.expired_skipped == 3
+        assert sorted((m.t, sid) for sid, m in plain.delivered) == \
+            sorted((m.t, sid) for sid, m in batched.delivered)
+        assert plain.cs.latest_delivered == batched.cs.latest_delivered
+
+
+class TestMidAdvanceRegistration:
+    """Satellite audit: a subscriber registered *mid-advance* (from a
+    synchronous PFS-durability callback — a catchup switchover) gets
+    the same first-delivery cursor on the batched and non-batched
+    paths: ``knowledge.advance()`` moves the consumed cursor past the
+    whole advance before any PFS ack can fire, so the late joiner
+    floors above every tick of the advance on both."""
+
+    def _drive(self, env):
+        env.add_sub("s1", Everything())
+        late = {}
+
+        def join_late(latest):
+            if latest >= 3 and "s3" not in late:
+                sub = env.add_sub("s3", Everything())
+                late["s3"] = env.cs._non_catchup["s3"]
+
+        env.cs.on_latest_delivered(join_late)
+        env.cs.accumulate(upd(d=[ev(3), ev(5), ev(8)], s=[(1, 2), (4, 4), (6, 7)]))
+        env.cs.accumulate(upd(d=[ev(9)]))
+        env.sim.run_until(100.0)
+        return env, late["s3"]
+
+    def test_same_first_delivery_cursor_both_paths(self):
+        plain, plain_floor = self._drive(Env())
+        batched, batched_floor = self._drive(BatchEnv())
+
+        # The callback fired inside the first pump; the floor is the
+        # already-consumed advance end — above every tick of it.
+        assert plain_floor == batched_floor == 8
+        s3_plain = [m.t for sid, m in plain.delivered if sid == "s3"]
+        s3_batched = [m.t for sid, m in batched.delivered if sid == "s3"]
+        # First delivery is the first post-registration advance.
+        assert s3_plain == s3_batched == [9]
+        # And nothing from the in-flight advance was redelivered.
+        assert sorted((m.t, sid) for sid, m in plain.delivered) == \
+            sorted((m.t, sid) for sid, m in batched.delivered)
+
+    def test_same_first_delivery_cursor_under_disk(self):
+        # Under a SimDisk the durability ack (and thus the switchover)
+        # fires from the sync completion, between pumps — by then both
+        # scripted advances have pumped, so the floor lands at 9 on
+        # both paths and s3's first delivery is the next advance.
+        def drive(env):
+            env, floor = self._drive(env)
+            env.sim.at(150.0, lambda: env.cs.accumulate(
+                upd(d=[ev(12)], s=[(10, 11)])
+            ))
+            env.sim.run_until(300.0)
+            return env, floor
+
+        plain, plain_floor = drive(Env(with_disk=True))
+        batched, batched_floor = drive(BatchEnv(with_disk=True))
+        assert plain_floor == batched_floor == 9
+        assert [m.t for sid, m in plain.delivered if sid == "s3"] == \
+            [m.t for sid, m in batched.delivered if sid == "s3"] == [12]

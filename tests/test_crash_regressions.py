@@ -228,11 +228,11 @@ class TestSuspectRegistryMode:
         assert M.ReleaseUpdate in kinds
 
     def test_live_dissemination_during_recovery_window(self, census_points):
-        # End to end: crash at a pfs.write boundary ~170 ms in (after
-        # PFS records are durable, before the first registry commit).
-        # Pre-fix, the recovered SHB's count-0 epoch refresh emptied
-        # the PHB union and live events disseminated as S while clients
-        # were still reconnecting — accepted as final silence.
-        point = _first_point(census_points, "pfs.write.pre", "shb1", ordinal=25)
+        # End to end: crash at a pfs.write_batch boundary ~174 ms in
+        # (after PFS records are durable, before the first registry
+        # commit).  Pre-fix, the recovered SHB's count-0 epoch refresh
+        # emptied the PHB union and live events disseminated as S while
+        # clients were still reconnecting — accepted as final silence.
+        point = _first_point(census_points, "pfs.write_batch.pre", "shb1", ordinal=16)
         outcome = cp._explore_one(point, down_ms=450.0, grace_ms=20_000.0)
         assert outcome.ok, outcome.violations

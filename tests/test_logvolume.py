@@ -244,3 +244,18 @@ class TestCrashTruncateClamp:
             stream.append(bytes([i]))
         assert stream.crash_truncate(durable_next_index=4) == 0
         assert stream.next_index == 4
+
+
+def test_volume_counts_physical_payload_bytes():
+    # ``bytes_appended`` is the *physical* footprint (where a columnar
+    # PFS batch's compaction shows up), distinct from the PFS's logical
+    # footnote-2 accounting.
+    from repro.storage.logvolume import LogVolume
+
+    volume = LogVolume.in_memory()
+    a = volume.stream("a")
+    b = volume.stream("b")
+    a.append(b"abcd")
+    b.append(b"")
+    b.append(b"xy")
+    assert volume.bytes_appended == 6

@@ -1,0 +1,228 @@
+"""Columnar-vs-row PFS differential suite.
+
+The columnar batch write path (:meth:`PersistentFilteringSubsystem.
+write_batch`) is a *representation-only* change: a PFS fed one
+``write_batch`` per pump advance must be observationally identical to a
+PFS fed the same ticks through per-tick :meth:`~repro.pfs.pfs.
+PersistentFilteringSubsystem.write` calls — same read results (every
+``PFSReadResult`` field, including the logical ``records_visited``
+CPU-model count), same ``last_timestamp``/``live_subscriber_nums``,
+same logical write counters, same durable-ack sequence under a
+group-commit SimDisk, same recovery scan — over chops, crashes, and
+both log-volume backends.
+
+A seeded churn drives the two representations through interleaved
+advances, chops, crash/recover cycles, and reads, asserting lockstep
+equivalence at every observation point.
+"""
+
+import random
+
+import pytest
+
+from repro.net.simtime import Scheduler
+from repro.pfs.pfs import PersistentFilteringSubsystem
+from repro.storage.disk import SimDisk
+from repro.storage.logvolume import LogVolume
+from repro.util.errors import StorageError
+
+BACKENDS = ["memory", "file"]
+PUBEND = "P1"
+
+
+def _open_volume(backend, tmp_path_factory):
+    if backend == "file":
+        path = str(tmp_path_factory.mktemp("pfsdiff") / "vol.log")
+        return LogVolume.at_path(path, fsync=False)
+    return LogVolume.in_memory()
+
+
+def _advance_items(rng, next_ts, n_subs):
+    """One pump advance: ascending ticks, occasional shared nums object."""
+    items = []
+    ts = next_ts
+    shared = None
+    for _ in range(rng.randint(1, 6)):
+        ts += rng.randint(1, 3)
+        if shared is not None and rng.random() < 0.5:
+            nums = shared  # same object → column-slice sharing
+        else:
+            nums = rng.sample(range(n_subs), rng.randint(1, min(5, n_subs)))
+            shared = nums
+        items.append((ts, nums))
+    return items, ts
+
+
+def _observe(pfs, rng, n_subs):
+    """A read through every observable surface, as a comparable tuple."""
+    sub = rng.randrange(n_subs)
+    after = rng.randint(0, pfs.last_timestamp(PUBEND) + 2)
+    buffer_qs = rng.choice([1, 2, 7, 5000])
+    r = pfs.read_batch(PUBEND, sub, after, buffer_qs=buffer_qs)
+    return (
+        sub, after, buffer_qs,
+        r.after, r.covered_to, tuple(r.q_ticks), r.known_from,
+        r.reached_last_timestamp, r.records_visited, r.q_count,
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_columnar_equals_row_under_churn(tmp_path_factory, backend, seed):
+    n_subs = 12
+    row = PersistentFilteringSubsystem(_open_volume(backend, tmp_path_factory))
+    col = PersistentFilteringSubsystem(_open_volume(backend, tmp_path_factory))
+
+    rng = random.Random(seed)
+    ts = 0
+    written = []  # (timestamp, sorted nums) ground truth, post-chop
+    row_chopped_total = col_chopped_total = 0
+    for _step in range(120):
+        op = rng.random()
+        if op < 0.55:
+            items, ts = _advance_items(rng, ts, n_subs)
+            row_acks, col_acks = [], []
+            for t, nums in items:
+                row.write(PUBEND, t, nums, on_durable=lambda t=t: row_acks.append(t))
+            col.write_batch(PUBEND, items, on_durable=col_acks.append)
+            assert row_acks == col_acks == [t for t, _ in items]
+            written.extend((t, tuple(sorted(nums))) for t, nums in items)
+        elif op < 0.70 and written:
+            # Chop at a random released point — sometimes mid-batch.
+            # The *count* of physically discarded records is a
+            # representation detail (a straddling batch defers its
+            # discard to a later chop); the logical surface below is
+            # what must agree.
+            chop_to = rng.choice([t for t, _ in written]) + rng.randint(0, 1)
+            row_chopped_total += row.chop_below(PUBEND, chop_to)
+            col_chopped_total += col.chop_below(PUBEND, chop_to)
+            # Cumulatively the columnar side only ever *defers* chops
+            # (a straddling batch is kept whole until fully released).
+            assert col_chopped_total <= row_chopped_total
+            written = [(t, nums) for t, nums in written if t >= chop_to]
+        elif op < 0.80:
+            row.crash_reset()
+            col.crash_reset()
+        else:
+            obs_seed = rng.random()
+            assert _observe(row, random.Random(obs_seed), n_subs) == \
+                _observe(col, random.Random(obs_seed), n_subs)
+
+        assert row.last_timestamp(PUBEND) == col.last_timestamp(PUBEND)
+
+    # Final state equivalence across every observable surface.
+    assert row.live_subscriber_nums() == col.live_subscriber_nums()
+    assert row.writes == col.writes
+    assert row.bytes_written == col.bytes_written
+    assert (row.reads, row.reads_reaching_last, row.chain_breaks) == \
+        (col.reads, col.reads_reaching_last, col.chain_breaks)
+    # The whole point: far fewer physical appends on the columnar side.
+    assert col.batch_appends < row.writes or row.writes == 0
+
+    # Exhaustive read sweep: every subscriber, several cursors.
+    for sub in range(n_subs):
+        for after in [0, ts // 3, ts // 2, ts]:
+            r = row.read_batch(PUBEND, sub, after)
+            c = col.read_batch(PUBEND, sub, after)
+            assert (r.q_ticks, r.known_from, r.covered_to,
+                    r.reached_last_timestamp, r.records_visited) == \
+                (c.q_ticks, c.known_from, c.covered_to,
+                 c.reached_last_timestamp, c.records_visited)
+            expected_q = [t for t, nums in written if t > after and sub in nums]
+            assert c.q_ticks == expected_q
+
+    # Recovery scan rebuilds identical index state from both layouts.
+    row.recover()
+    col.recover()
+    assert row.live_subscriber_nums() == col.live_subscriber_nums()
+    assert row.last_timestamp(PUBEND) == col.last_timestamp(PUBEND)
+    for sub in range(n_subs):
+        r = row.read_batch(PUBEND, sub, 0)
+        c = col.read_batch(PUBEND, sub, 0)
+        assert r.q_ticks == c.q_ticks and r.records_visited == c.records_visited
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_durable_ack_sequence_identical_under_group_commit(seed):
+    """Under a SimDisk, row and batch paths stage the same logical
+    per-tick writes, so group-commit ack timing and order are identical
+    — the property that keeps determinism digests byte-identical."""
+    rng = random.Random(seed)
+    sims = [Scheduler(), Scheduler()]
+    disks = [SimDisk(s, sync_interval_ms=6.0, sync_duration_ms=27.0) for s in sims]
+    row = PersistentFilteringSubsystem(LogVolume.in_memory(), disk=disks[0])
+    col = PersistentFilteringSubsystem(LogVolume.in_memory(), disk=disks[1])
+
+    row_acks, col_acks = [], []
+    ts = 0
+    advances = []
+    for _ in range(25):
+        items, ts = _advance_items(rng, ts, 10)
+        advances.append(items)
+
+    t_ms = 0.0
+    for items in advances:
+        t_ms += rng.choice([1.0, 4.0, 9.0])
+        sims[0].at(t_ms, lambda items=items: [
+            row.write(PUBEND, t, nums,
+                      on_durable=lambda t=t: row_acks.append((sims[0].now, t)))
+            for t, nums in items
+        ])
+        sims[1].at(t_ms, lambda items=items: col.write_batch(
+            PUBEND, items,
+            on_durable=lambda t: col_acks.append((sims[1].now, t)),
+        ))
+    for sim in sims:
+        sim.run_until(t_ms + 200.0)
+
+    assert row_acks == col_acks
+    assert len(col_acks) == sum(len(items) for items in advances)
+    assert disks[0].bytes_written == disks[1].bytes_written
+    assert disks[0].syncs_completed == disks[1].syncs_completed
+
+
+def test_write_batch_replay_prefix_acks_without_append():
+    pfs = PersistentFilteringSubsystem(LogVolume.in_memory())
+    items = [(10, [1, 2]), (12, [2]), (15, [1, 3])]
+    pfs.write_batch(PUBEND, items)
+    appended = pfs.batch_appends
+
+    # Full replay: every tick acked, nothing appended.
+    acks = []
+    assert pfs.write_batch(PUBEND, items, on_durable=acks.append) == 0
+    assert acks == [10, 12, 15]
+    assert pfs.batch_appends == appended
+
+    # Mixed replay prefix + fresh suffix: prefix acked synchronously,
+    # suffix lands as one new batch.
+    acks = []
+    mixed = [(12, [2]), (15, [1, 3]), (18, [4]), (20, [4, 1])]
+    assert pfs.write_batch(PUBEND, mixed, on_durable=acks.append) > 0
+    assert acks == [12, 15, 18, 20]
+    assert pfs.batch_appends == appended + 1
+    assert pfs.last_timestamp(PUBEND) == 20
+    assert pfs.read_batch(PUBEND, 4, 0).q_ticks == [18, 20]
+
+
+def test_write_batch_rejects_below_chop():
+    pfs = PersistentFilteringSubsystem(LogVolume.in_memory())
+    pfs.write_batch(PUBEND, [(10, [1]), (20, [1])])
+    pfs.chop_below(PUBEND, 21)
+    with pytest.raises(StorageError):
+        pfs.write_batch(PUBEND, [(15, [1])])
+
+
+def test_straddling_batch_reader_filters_released_ticks():
+    """A chop landing mid-batch keeps the record but readers must not
+    visit or vouch for its released ticks — exactly what the row layout
+    would have chopped away."""
+    pfs = PersistentFilteringSubsystem(LogVolume.in_memory())
+    pfs.write_batch(PUBEND, [(10, [1]), (20, [1]), (30, [1])])
+    chopped = pfs.chop_below(PUBEND, 25)
+    assert chopped == 0  # straddling batch: newest tick 30 >= 25, kept whole
+
+    r = pfs.read_batch(PUBEND, 1, 0)
+    assert r.q_ticks == [30]
+    assert r.known_from == 25
+    # Only the live tick is visited (the row path would read one record).
+    assert r.records_visited == 1

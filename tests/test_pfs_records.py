@@ -4,7 +4,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.pfs.records import NO_PREVIOUS, PFSRecord
+from repro.pfs.records import (
+    BATCH_TAG,
+    NO_PREVIOUS,
+    PFSRecord,
+    PFSRecordBatch,
+    decode_record,
+)
 from repro.util.errors import CorruptLogError
 
 
@@ -67,3 +73,105 @@ def test_codec_roundtrip_property(timestamp, entries):
     data = record.encode()
     assert len(data) == 8 + 16 * len(entries)
     assert PFSRecord.decode(data) == record
+
+
+class TestBatchRecord:
+    def test_build_and_roundtrip(self):
+        last_index = {3: 17}
+        batch = PFSRecordBatch.build(
+            [(100, [5, 3]), (101, [3]), (102, [9, 5])], last_index
+        )
+        assert batch.n_ticks == 3
+        assert batch.oldest_timestamp == 100
+        assert batch.newest_timestamp == 102
+        assert batch.subscribers() == [3, 5, 9]
+        assert batch.prev_index_of(3) == 17
+        assert batch.prev_index_of(5) == NO_PREVIOUS
+        assert batch.prev_index_of(99) is None
+        assert batch.nums_at(0) == (3, 5)
+        assert batch.nums_at(1) == (3,)
+        assert batch.ticks_for(3) == [0, 1]
+        assert batch.ticks_for(5) == [0, 2]
+        assert batch.ticks_for(99) == []
+        assert PFSRecordBatch.decode(batch.encode()) == batch
+
+    def test_logical_size_is_sum_of_row_sizes(self):
+        batch = PFSRecordBatch.build([(1, [0, 1]), (2, [0])], {})
+        assert batch.logical_size_bytes == (8 + 16 * 2) + (8 + 16 * 1)
+
+    def test_identical_nums_object_shares_column_slice(self):
+        nums = [4, 2, 7]
+        batch = PFSRecordBatch.build([(1, nums), (2, nums), (3, [1])], {})
+        # Two ticks alias the same slice; the column holds the run once.
+        assert batch.slices[0] == batch.slices[1]
+        assert len(batch.column) == 4
+        assert batch.ticks_for(4) == [0, 1]
+
+    def test_equal_but_distinct_nums_objects_do_not_share(self):
+        batch = PFSRecordBatch.build([(1, [4, 2]), (2, [4, 2])], {})
+        assert batch.slices[0] != batch.slices[1]
+        assert len(batch.column) == 4
+
+    def test_build_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            PFSRecordBatch.build([], {})
+        with pytest.raises(ValueError):
+            PFSRecordBatch.build([(5, [])], {})
+        with pytest.raises(ValueError):
+            PFSRecordBatch.build([(5, [1]), (5, [1])], {})
+        with pytest.raises(ValueError):
+            PFSRecordBatch.build([(5, [1]), (4, [1])], {})
+
+    def test_build_does_not_mutate_last_index(self):
+        last_index = {3: 17}
+        PFSRecordBatch.build([(1, [3, 5])], last_index)
+        assert last_index == {3: 17}
+
+    def test_decode_rejects_bad_geometry(self):
+        batch = PFSRecordBatch.build([(1, [0, 1]), (2, [2])], {})
+        data = batch.encode()
+        with pytest.raises(CorruptLogError):
+            PFSRecordBatch.decode(data[:-8])  # word count mismatch
+        with pytest.raises(CorruptLogError):
+            PFSRecordBatch.decode(data[:12])  # shorter than the header
+        with pytest.raises(CorruptLogError):
+            PFSRecordBatch.decode(b"\x01" + data[1:])  # tag corrupted
+        import struct
+
+        # Slice pointing past the column end.
+        bad = bytearray(data)
+        struct.pack_into("<q", bad, 32 + 2 * 8 + 8, 99)
+        with pytest.raises(CorruptLogError):
+            PFSRecordBatch.decode(bytes(bad))
+
+    def test_decode_record_dispatches(self):
+        row = PFSRecord(7, ((1, NO_PREVIOUS),))
+        batch = PFSRecordBatch.build([(7, [1])], {})
+        assert decode_record(row.encode()) == row
+        assert decode_record(batch.encode()) == batch
+        assert BATCH_TAG < 0  # row timestamps >= 0 keep the tag space free
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 2**40),
+            st.lists(st.integers(0, 2**20), min_size=1, max_size=8, unique=True),
+        ),
+        min_size=1,
+        max_size=12,
+        unique_by=lambda item: item[0],
+    )
+)
+@settings(max_examples=100)
+def test_batch_codec_roundtrip_property(items):
+    items.sort(key=lambda item: item[0])
+    batch = PFSRecordBatch.build(items, {})
+    decoded = PFSRecordBatch.decode(batch.encode())
+    assert decoded == batch
+    assert decode_record(batch.encode()) == batch
+    # The batch is logically the row records, tick by tick.
+    for i, (timestamp, nums) in enumerate(items):
+        assert decoded.timestamps[i] == timestamp
+        assert decoded.nums_at(i) == tuple(sorted(nums))
+    assert decoded.logical_size_bytes == sum(8 + 16 * len(n) for _t, n in items)

@@ -1,6 +1,6 @@
 """Property tests for crash recovery and accumulation-order independence.
 
-Three invariants that underpin everything else:
+Four invariants that underpin everything else:
 
 1. **Append/chop round trip on every backend**: whatever a stream
    appended (minus what it chopped) reads back identically after the
@@ -17,6 +17,13 @@ Three invariants that underpin everything else:
    knowledge history is sliced into updates and (per-tick-monotonically)
    reordered, a consolidated stream consumes exactly the same sequence
    of runs.
+
+4. **Columnar PFS batches recover whole**: a batch append torn at the
+   durable horizon vanishes entirely (no partial batch is ever
+   observable), a batch any tick of which was synced survives entirely
+   (the replay acknowledges every tick without re-appending), and a
+   chop landing mid-batch never loses the batch's live ticks — over the
+   in-memory and real-file backends, through reopen.
 """
 
 import pytest
@@ -27,6 +34,9 @@ from repro.core.events import Event
 from repro.core.knowledge import KnowledgeStream
 from repro.core.messages import KnowledgeUpdate
 from repro.core.ticks import Tick
+from repro.net.simtime import Scheduler
+from repro.pfs.pfs import PersistentFilteringSubsystem
+from repro.storage.disk import SimDisk
 from repro.storage.logvolume import LogVolume
 from repro.util.errors import RecordNotFoundError
 
@@ -225,3 +235,132 @@ def test_consumption_independent_of_update_slicing(kinds, order_seed, chunk):
 
     assert per_tick(flat) == per_tick(expected)
     assert stream.consumed == n
+
+
+# ---------------------------------------------------------------------------
+# 4. Columnar PFS batch recovery
+# ---------------------------------------------------------------------------
+_advances_strategy = st.lists(
+    st.lists(
+        st.tuples(
+            st.integers(1, 3),  # tick delta from the previous tick
+            st.lists(st.integers(0, 9), min_size=1, max_size=4, unique=True),
+        ),
+        min_size=1,
+        max_size=5,
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _materialize(advances):
+    """Turn delta-coded advances into absolute-tick write_batch items."""
+    out, ts = [], 0
+    for advance in advances:
+        items = []
+        for delta, nums in advance:
+            ts += delta
+            items.append((ts, nums))
+        out.append(items)
+    return out
+
+
+@given(advances=_advances_strategy, crash_after_sync=st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_torn_batch_at_durable_horizon_is_all_or_nothing(
+    advances, crash_after_sync
+):
+    """A crash never exposes a partial batch: the last advance either
+    vanishes whole (no covering sync) or survives whole (any tick's
+    sync), and the constream's deterministic replay heals either way —
+    the surviving prefix acks synchronously without re-appending."""
+    advances = _materialize(advances)
+    sim = Scheduler()
+    disk = SimDisk(sim, sync_interval_ms=6.0, sync_duration_ms=27.0)
+    pfs = PersistentFilteringSubsystem(LogVolume.in_memory(), disk=disk)
+
+    *durable, last = advances
+    for items in durable:
+        pfs.write_batch("P1", items)
+    sim.run_until(1000.0)  # everything so far synced and acked
+
+    pfs.write_batch("P1", last)
+    if crash_after_sync:
+        sim.run_until(2000.0)  # the batch's covering sync completes
+    disk.crash_reset()
+    pfs.crash_reset()
+
+    durable_ticks = [t for items in durable for t, _nums in items]
+    if crash_after_sync:
+        durable_ticks += [t for t, _nums in last]
+    expect_last_ts = durable_ticks[-1] if durable_ticks else 0
+    assert pfs.last_timestamp("P1") == expect_last_ts
+    for sub in range(10):
+        expected = [
+            t for items in (durable + [last] if crash_after_sync else durable)
+            for t, nums in items if sub in nums
+        ]
+        assert pfs.read_batch("P1", sub, 0).q_ticks == expected
+
+    # Replay of the crashed advance: already-durable ticks ack without
+    # a new append; lost ticks are re-appended as a fresh batch.
+    appends_before = pfs.batch_appends
+    acks = []
+    pfs.write_batch("P1", last, on_durable=acks.append)
+    sim.run_until(3000.0)
+    assert acks == [t for t, _nums in last]
+    assert pfs.batch_appends == appends_before + (0 if crash_after_sync else 1)
+    assert pfs.last_timestamp("P1") == last[-1][0]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(
+    advances=_advances_strategy,
+    chop_num=st.integers(0, 30),
+    chop_bump=st.integers(0, 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_batch_chop_and_reopen_preserve_live_ticks(
+    tmp_path_factory, backend, advances, chop_num, chop_bump
+):
+    """Chop at an arbitrary tick — including mid-batch — then crash and
+    recover (file backend: close and re-scan the real volume).  Every
+    live tick survives, every released tick stays invisible, and the
+    rebuilt index equals the pre-crash one."""
+    advances = _materialize(advances)
+    harness = _VolumeHarness(backend, tmp_path_factory)
+    pfs = PersistentFilteringSubsystem(harness.volume)
+    for items in advances:
+        pfs.write_batch("P1", items)
+
+    all_ticks = [t for items in advances for t, _nums in items]
+    chop_to = all_ticks[chop_num % len(all_ticks)] + chop_bump
+    pfs.chop_below("P1", chop_to)
+
+    # Crash + recover.  On the file backend this goes through the real
+    # frame scan; the release point itself is committed SHB state, so
+    # the recovered PFS re-learns it from the outside.
+    recovered = PersistentFilteringSubsystem(harness.reopen())
+    recovered._state("P1").chopped_from_ts = chop_to
+    recovered.recover()
+
+    truth = {}
+    for items in advances:
+        for t, nums in items:
+            if t >= chop_to:
+                truth[t] = set(nums)
+    assert recovered.last_timestamp("P1") == (
+        max(truth) if truth else chop_to
+    )
+    live = set()
+    for nums in truth.values():
+        live.update(nums)
+    assert recovered.live_subscriber_nums() <= {n for items in advances
+                                                for _t, nums in items
+                                                for n in nums}
+    for sub in range(10):
+        got = recovered.read_batch("P1", sub, 0)
+        assert got.q_ticks == [t for t in sorted(truth) if sub in truth[t]]
+        assert got.known_from == chop_to
+    harness.close()

@@ -271,3 +271,39 @@ class TestShardedIndexDifferential:
         idx.prune_below(10)
         assert 0 not in idx and 300 not in idx
         assert idx[1] == 20 and idx[301] == 40
+
+    @pytest.mark.parametrize("seed", [21, 22, 23])
+    def test_floor_lifecycle_through_prune_to_empty_cycles(self, seed):
+        """The per-shard floor invariant across the full shard
+        lifecycle: create → prune-to-empty (shard and floor both
+        deleted) → re-create (floor re-seeded from the first write).
+
+        A floor that survived an emptied shard, or drifted above its
+        shard's true minimum, would make ``prune_below`` skip stale
+        entries — catchup walks would then chase chopped indexes.  The
+        churn here forces many empty/re-create cycles (tiny index
+        range, aggressive chops) and checks the floor is a valid lower
+        bound and the shard/floor key sets agree after every op.
+        """
+        rng = random.Random(f"floor-cycle:{seed}")
+        sharded = _ShardedIndex()
+        flat = {}
+        for step in range(1_500):
+            op = rng.random()
+            if op < 0.5:
+                num = rng.randrange(4 << SHARD_BITS)
+                idx = rng.randrange(64)  # tiny range → frequent full prunes
+                sharded[num] = idx
+                flat[num] = idx
+            elif op < 0.9:
+                chop = rng.randrange(70)  # often empties every shard
+                sharded.prune_below(chop)
+                flat = {n: i for n, i in flat.items() if i > chop}
+            else:
+                assert dict(sharded.items()) == flat
+            # Invariants after *every* op, not only at checkpoints:
+            assert set(sharded._shards) == set(sharded._floor)
+            for sid, shard in sharded._shards.items():
+                assert shard, "empty shard must have been deleted"
+                assert sharded._floor[sid] <= min(shard.values())
+        assert dict(sharded.items()) == flat
