@@ -126,6 +126,39 @@ def measure() -> dict:
     return out
 
 
+def compare(baseline: dict, current: dict, out=None) -> list:
+    """Compare ``current`` metrics against ``baseline``; return failures.
+
+    Every gated metric (key of :data:`HIGHER_IS_WORSE`) must be present
+    in *both* dicts — a key missing from the baseline means the gate was
+    added without refreshing ``baseline.json``, and a key missing from
+    the results means a measurement silently stopped producing it; both
+    are hard failures with a per-metric message, never a crash or a
+    silent skip.
+    """
+    out = out if out is not None else sys.stdout
+    failures = []
+    for name, higher_is_worse in HIGHER_IS_WORSE.items():
+        old, new = baseline.get(name), current.get(name)
+        if old is None:
+            failures.append(f"{name}: missing from baseline (run --update)")
+            continue
+        if new is None:
+            failures.append(f"{name}: missing from results (benchmark stopped producing it)")
+            continue
+        if old == 0:
+            continue
+        tolerance = TOLERANCES.get(name, TOLERANCE)
+        change = (new - old) / abs(old)
+        worse = change if higher_is_worse else -change
+        marker = "REGRESSION" if worse > tolerance else "ok"
+        print(f"{name:34s} baseline={old:<12} current={new:<12} "
+              f"change={change:+.1%} [{marker} @ {tolerance:.0%}]", file=out)
+        if worse > tolerance:
+            failures.append(f"{name}: {old} -> {new} ({change:+.1%})")
+    return failures
+
+
 def main(argv) -> int:
     current = measure()
     if "--update" in argv:
@@ -136,22 +169,7 @@ def main(argv) -> int:
         print(f"no baseline at {BASELINE_PATH}; run with --update", file=sys.stderr)
         return 2
     baseline = json.loads(BASELINE_PATH.read_text())
-    failures = []
-    for name, higher_is_worse in HIGHER_IS_WORSE.items():
-        old, new = baseline.get(name), current.get(name)
-        if old is None:
-            failures.append(f"{name}: missing from baseline (run --update)")
-            continue
-        if old == 0:
-            continue
-        tolerance = TOLERANCES.get(name, TOLERANCE)
-        change = (new - old) / abs(old)
-        worse = change if higher_is_worse else -change
-        marker = "REGRESSION" if worse > tolerance else "ok"
-        print(f"{name:34s} baseline={old:<12} current={new:<12} "
-              f"change={change:+.1%} [{marker} @ {tolerance:.0%}]")
-        if worse > tolerance:
-            failures.append(f"{name}: {old} -> {new} ({change:+.1%})")
+    failures = compare(baseline, current)
     if failures:
         print("\nregressions beyond tolerance:", file=sys.stderr)
         for f in failures:

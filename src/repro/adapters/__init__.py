@@ -1,0 +1,8 @@
+"""Adapter families for the substrate ports (see :mod:`repro.port`).
+
+* :mod:`repro.adapters.sim` — the discrete-event simulation substrate
+  (tier-1: deterministic, exhaustively tested).
+* :mod:`repro.adapters.rt` — the real-time asyncio substrate (wall
+  clock, localhost TCP, real fsyncs); exercised by
+  ``examples/rt_quickstart.py`` and the CI ``rt-smoke`` job.
+"""

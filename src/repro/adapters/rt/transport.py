@@ -1,0 +1,212 @@
+"""The Transport port over real TCP (asyncio streams).
+
+Wire format, little-endian::
+
+    MAGIC(4) length(4) crc32(4) payload(length)
+
+where ``payload`` is the pickle of a :class:`~repro.core.messages.Frame`
+wrapping the protocol message — so integrity is checked twice, exactly
+once per layer:
+
+* the header CRC covers the payload *bytes* (catches torn/corrupt
+  reads at the socket layer),
+* the Frame's repr-CRC covers the *message* (the same end-to-end check
+  the sim's lossy links enforce), recomputed after unpickling.
+
+A frame failing either check closes the connection (a byte stream with
+one bad frame has lost sync); the protocol recovers exactly as it
+recovers a severed sim link — reconnect, re-nack, retransmit.
+
+Pickle is acceptable here because both endpoints are the same trusted
+codebase exchanging its own dataclasses on localhost; a production
+deployment would swap in a real serializer behind the same framing.
+
+``open_connection`` retries with the same knob the sim clients use for
+connect-request retries (``connect_retry_ms``): the peer may simply
+not be up yet — or be mid-restart after a ``kill -9``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import struct
+import zlib
+from typing import Any, Callable, List, Optional
+
+from ...core.messages import Frame
+
+_MAGIC = b"GRT1"
+_HEADER = struct.Struct("<4sII")  # magic, length, crc32(payload bytes)
+_MAX_FRAME = 64 * 1024 * 1024
+
+
+def encode_frame(msg: Any) -> bytes:
+    """One wire frame carrying ``msg`` inside a CRC'd Frame envelope."""
+    payload = pickle.dumps(Frame(msg), protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(_MAGIC, len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Any:
+    """Unpickle and verify a frame payload; raises ValueError if bad."""
+    frame = pickle.loads(payload)
+    if not isinstance(frame, Frame) or not frame.verify():
+        raise ValueError("frame CRC mismatch")
+    return frame.payload
+
+
+class TcpConnection:
+    """An established TCP session as a :class:`repro.port.Connection`.
+
+    Messages arriving before ``on_message`` is installed are buffered
+    and delivered in order at installation — the broker's acceptor
+    peeks at the first message to route the session without losing any
+    that arrived behind it.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._handler: Optional[Callable[[Any], None]] = None
+        self._close_fns: List[Callable[[], None]] = []
+        self._pending: List[Any] = []
+        self._closed = False
+        self.sent = 0
+        self.delivered = 0
+        self._read_task = asyncio.ensure_future(self._read_loop())
+
+    # -- channel API ---------------------------------------------------
+    def send(self, msg: Any) -> None:
+        if self._closed:
+            return  # like a severed sim link: drop silently
+        try:
+            self._writer.write(encode_frame(msg))
+            self.sent += 1
+        except (ConnectionError, RuntimeError):
+            self._on_closed()
+
+    def on_message(self, fn: Callable[[Any], None]) -> None:
+        self._handler = fn
+        while self._pending and self._handler is fn:
+            msg = self._pending.pop(0)
+            self.delivered += 1
+            fn(msg)
+
+    def deliver(self, msg: Any) -> None:
+        """Inject ``msg`` as if it had just arrived on the wire.
+
+        Used by the broker's acceptor: it peeks at a session's first
+        message to decide which role handles the connection, installs
+        that role's handler, then re-delivers the peeked message here
+        so nothing is lost and ordering is preserved.
+        """
+        if self._handler is not None:
+            self.delivered += 1
+            self._handler(msg)
+        else:
+            self._pending.append(msg)
+
+    def on_close(self, fn: Callable[[], None]) -> None:
+        self._close_fns.append(fn)
+        if self._closed:
+            fn()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._read_task.cancel()
+            self._writer.close()
+            self._on_closed()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- internals -----------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                header = await self._reader.readexactly(_HEADER.size)
+                magic, length, crc = _HEADER.unpack(header)
+                if magic != _MAGIC or length > _MAX_FRAME:
+                    break
+                payload = await self._reader.readexactly(length)
+                if zlib.crc32(payload) != crc:
+                    break
+                msg = decode_payload(payload)
+                if self._handler is not None:
+                    self.delivered += 1
+                    self._handler(msg)
+                else:
+                    self._pending.append(msg)
+        except (asyncio.IncompleteReadError, ConnectionError, ValueError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            self._on_closed()
+
+    def _on_closed(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._writer.close()
+        except Exception:
+            pass
+        fns, self._close_fns = self._close_fns, []
+        for fn in fns:
+            fn()
+
+
+class TcpListener:
+    """Accepts inbound :class:`TcpConnection`\\ s on a local port."""
+
+    def __init__(self) -> None:
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._on_conn: Optional[Callable[[TcpConnection], None]] = None
+        self.port: Optional[int] = None
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Bind and listen; returns the bound port."""
+        self._server = await asyncio.start_server(self._accept, host, port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    def on_connection(self, fn: Callable[[TcpConnection], None]) -> None:
+        self._on_conn = fn
+
+    async def _accept(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = TcpConnection(reader, writer)
+        if self._on_conn is not None:
+            self._on_conn(conn)
+
+    def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+
+
+async def open_connection(
+    host: str,
+    port: int,
+    retry_ms: Optional[float] = None,
+    timeout_ms: float = 15_000.0,
+) -> TcpConnection:
+    """Connect to a broker, optionally retrying until it is up.
+
+    With ``retry_ms`` set, a refused/absent peer is retried every that
+    many milliseconds until ``timeout_ms`` elapses — the TCP analogue
+    of the sim clients' ``connect_retry_ms`` knob, and how the
+    quickstart's clients ride out the broker's ``kill -9`` window.
+    """
+    deadline = asyncio.get_event_loop().time() + timeout_ms / 1000.0
+    while True:
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            return TcpConnection(reader, writer)
+        except (ConnectionError, OSError):
+            if retry_ms is None or asyncio.get_event_loop().time() >= deadline:
+                raise
+            await asyncio.sleep(retry_ms / 1000.0)

@@ -43,11 +43,20 @@ class PublisherHostingBroker(Broker):
         node: Optional[Node] = None,
         disk: Optional[SimDisk] = None,
         nack_reply_max_events: int = 375,
+        journal_volume: Optional[object] = None,
     ) -> None:
         super().__init__(scheduler, name, cost_model, speed, node)
         #: The broker's log device, shared by all hosted pubends.
         self.disk = disk if disk is not None else SimDisk(scheduler, f"{name}-log")
         self._own_storage(self.disk)
+        #: File-backed journal volume (rt substrate): makes the seq
+        #: table and every pubend's event log survive real process
+        #: death.  Stream creation order is fixed (pub_seqs first, then
+        #: one per pubend in creation order — rt boots must create
+        #: pubends in a deterministic order, e.g. sorted).
+        self.journal_volume = journal_volume
+        if journal_volume is not None:
+            self._own_storage(journal_volume)
         self.pubends: Dict[str, Pubend] = {}
         self.nack_reply_max_events = nack_reply_max_events
         self.events_accepted = 0
@@ -56,9 +65,22 @@ class PublisherHostingBroker(Broker):
         # Reliable publishing: highest durably-logged sequence number
         # per publisher, persisted so PHB recovery keeps rejecting
         # retransmitted duplicates.
-        self.seq_table = PersistentTable(f"{name}.pub_seqs", self.disk)
+        self.seq_table = PersistentTable(
+            f"{name}.pub_seqs",
+            self.disk,
+            journal=(
+                journal_volume.stream("journal:pub_seqs")  # type: ignore[attr-defined]
+                if journal_volume is not None
+                else None
+            ),
+        )
         self._pub_seqs: Dict[str, int] = {}       # durable floor (acks)
         self._accepted_seqs: Dict[str, int] = {}  # staged floor (gap check)
+        if journal_volume is not None:
+            # Journal-recovered floor; extended per pubend as each
+            # recovered event log is created (see create_pubend).
+            for publisher, seq in self.seq_table.committed_items():
+                self._pub_seqs[publisher] = seq
         self._commit_timer = scheduler.every(250.0, self.seq_table.commit)
         self.node.on_crash(self._on_node_crash)
 
@@ -68,9 +90,24 @@ class PublisherHostingBroker(Broker):
     def create_pubend(self, name: str, policy: Optional[EarlyReleasePolicy] = None) -> Pubend:
         if name in self.pubends:
             raise ConfigurationError(f"pubend {name} already exists on {self.name}")
-        pubend = Pubend(name, self.scheduler, disk=self.disk, policy=policy)
+        journal = (
+            self.journal_volume.stream(f"pubend:{name}")  # type: ignore[attr-defined]
+            if self.journal_volume is not None
+            else None
+        )
+        pubend = Pubend(
+            name, self.scheduler, disk=self.disk, policy=policy, journal=journal
+        )
         pubend.on_knowledge = lambda upd, p=name: self._disseminate(upd)
         self.pubends[name] = pubend
+        if journal is not None:
+            # Extend the dedup floor over the recovered log: the
+            # committed seq table may trail it (commits are periodic),
+            # exactly as in post-crash _on_node_recover.
+            for event in pubend.log.read_range(0, 2**60):
+                if event.publisher is not None and event.seq is not None:
+                    if event.seq > self._pub_seqs.get(event.publisher, 0):
+                        self._pub_seqs[event.publisher] = event.seq
         return pubend
 
     def register_release_child(self, pubend: str, child: str) -> None:
@@ -136,6 +173,11 @@ class PublisherHostingBroker(Broker):
             lambda msg: self._on_publisher_message(send_end, msg),
             lambda msg: self.costs.publish_ms if isinstance(msg, M.PublishRequest) else 0.02,
         )
+
+    def attach_publisher_channel(self, chan) -> None:
+        """Wire a transport-port channel (rt substrate) as a publisher
+        session; acks go back over the same duck-typed channel."""
+        chan.on_message(lambda msg: self._on_publisher_message(chan, msg))
 
     def _on_publisher_message(self, send_end: LinkEnd, msg: object) -> None:
         if not isinstance(msg, M.PublishRequest):

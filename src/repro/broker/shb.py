@@ -73,6 +73,8 @@ class SubscriberHostingBroker(Broker):
         nack_backoff_max_ms: Optional[float] = None,
         nack_jitter_ms: float = 0.0,
         nack_retry_budget: Optional[int] = None,
+        pfs_volume: Optional[LogVolume] = None,
+        journal_volume: Optional[LogVolume] = None,
     ) -> None:
         super().__init__(scheduler, name, cost_model, speed, node)
         #: Delivery batching (0 = the seed's one-job-per-message path).
@@ -106,12 +108,37 @@ class SubscriberHostingBroker(Broker):
         self.nack_retry_budget = nack_retry_budget
 
         # -- persistent stores (survive crashes) -----------------------
-        self.meta_table = PersistentTable(f"{name}.meta", self.disk)
-        self.subs_table = PersistentTable(f"{name}.subs", self.disk)
-        self.released_table = PersistentTable(f"{name}.released", self.disk)
-        self.pfs_volume = LogVolume.in_memory()
+        # File-backed ``journal_volume``/``pfs_volume`` (the rt
+        # substrate) make this state survive real process death, not
+        # just the simulated kind.  Stream creation order is fixed —
+        # journals first, then ``pfs:{p}`` sorted — because a LogVolume
+        # numbers streams by creation order and a recovered volume must
+        # repeat it.
+        self.journal_volume = journal_volume
+
+        def _journal(key: str) -> Optional[object]:
+            if journal_volume is None:
+                return None
+            return journal_volume.stream(f"journal:{key}")
+
+        self.meta_table = PersistentTable(
+            f"{name}.meta", self.disk, journal=_journal("meta")
+        )
+        self.subs_table = PersistentTable(
+            f"{name}.subs", self.disk, journal=_journal("subs")
+        )
+        self.released_table = PersistentTable(
+            f"{name}.released", self.disk, journal=_journal("released")
+        )
+        self.pfs_volume = pfs_volume if pfs_volume is not None else LogVolume.in_memory()
         self.pfs = PersistentFilteringSubsystem(self.pfs_volume, self.disk)
+        if pfs_volume is not None:
+            for p in self.pubend_names:
+                self.pfs._state(p)
+            self.pfs.recover()
         self._own_storage(self.disk, self.pfs_volume)
+        if journal_volume is not None:
+            self._own_storage(journal_volume)
 
         # -- volatile state (rebuilt on recovery) -----------------------
         self.registry = SubscriptionRegistry(self.subs_table, self.released_table)
@@ -181,8 +208,19 @@ class SubscriberHostingBroker(Broker):
         #: restart the confirmation after a crash.
         self._cover_pending: Dict[str, Tuple[Optional[int], str, int, LinkEnd]] = {}
 
+        if journal_volume is not None or pfs_volume is not None:
+            # Process restart (rt substrate): the journal-recovered
+            # registry and PFS stand in for the crash-surviving state
+            # of _on_node_recover — same suspect check, same release
+            # epoch floor (the rt clock is epoch time, so the floor is
+            # monotone across restarts too).
+            known = {sub.num for sub in self.registry.all()}
+            self.registry_suspect = bool(self.pfs.live_subscriber_nums() - known)
+            self._release_epoch_floor = int(scheduler.now)
         self.node.on_crash(self._on_node_crash)
         self._build_volatile()
+        if journal_volume is not None:
+            self._reconcile_migrations()
 
     # ------------------------------------------------------------------
     # Volatile state construction (initial boot and post-crash recovery)
@@ -270,6 +308,16 @@ class SubscriberHostingBroker(Broker):
         )
         link.on_disconnect(lambda: self._client_link_down(send_end))
         return recv_end
+
+    def attach_client_channel(self, chan) -> None:
+        """Wire a transport-port channel (rt substrate) as a client session.
+
+        The session handle is duck-typed — anything with ``send`` works
+        — so the same dispatch, disconnect and delivery paths serve TCP
+        connections and sim link ends alike.
+        """
+        chan.on_message(lambda msg: self._on_client_message(chan, msg))
+        chan.on_close(lambda: self._client_link_down(chan))
 
     def register_client_extension(self, msg_type: type, handler) -> None:
         """Install a handler for an extension client message type.
@@ -1236,6 +1284,22 @@ class SubscriberHostingBroker(Broker):
         self.registry_suspect = False
         self._refresh_subscriptions()
         self._report_release()
+
+    def resync_upstream(self) -> None:
+        """Re-announce all soft state the parent holds for this SHB.
+
+        A process restart (rt substrate) is an extreme uplink outage:
+        the journal-recovered registry is authoritative here, but the
+        parent's copy of the subscription union and release floor died
+        with the old process (or, for a restarted parent, with it).
+        Until the union is re-announced the PHB's downstream filter
+        converts every D tick to silence — ``latestDelivered`` then
+        advances over events that never reached the PFS, and the span
+        is unrecoverable once released.  Callers must invoke this once
+        the uplink is attached (the constructor cannot: there is no
+        parent link yet at construction time).
+        """
+        self._on_uplink_restored()
 
     def _on_uplink_restored(self) -> None:
         """Partition toward the parent healed: re-sync eagerly.

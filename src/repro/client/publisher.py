@@ -91,13 +91,14 @@ class ReliablePublisher:
     def __init__(
         self,
         scheduler: Scheduler,
-        phb: PublisherHostingBroker,
-        node: Node,
+        phb: Optional[PublisherHostingBroker],
+        node: Optional[Node],
         name: str,
         pubend: str,
         window: int = 64,
         retransmit_ms: float = 500.0,
         link_latency_ms: float = 0.5,
+        channel: Optional[object] = None,
     ) -> None:
         self.scheduler = scheduler
         self.phb = phb
@@ -106,10 +107,17 @@ class ReliablePublisher:
         self.pubend = pubend
         self.window = window
         self.retransmit_ms = retransmit_ms
-        link = Link(scheduler, node, phb.node, link_latency_ms)
-        phb.attach_publisher(link, node)
-        self._send: LinkEnd = link.end_for_sender(node)
-        link.end_for_sender(phb.node).on_receive(self._on_message, lambda _m: 0.01)
+        if channel is None:
+            assert phb is not None and node is not None
+            link = Link(scheduler, node, phb.node, link_latency_ms)
+            phb.attach_publisher(link, node)
+            self._send: LinkEnd = link.end_for_sender(node)
+            link.end_for_sender(phb.node).on_receive(self._on_message, lambda _m: 0.01)
+        else:
+            # rt substrate: an already-open transport channel to the
+            # PHB; acks arrive over the same channel (wired below, once
+            # the ack-tracking state exists).
+            self._send = channel  # type: ignore[assignment]
         self._next_seq = 1
         self._acked_seq = 0
         #: Unacknowledged, transmitted requests (seq ascending).
@@ -120,6 +128,23 @@ class ReliablePublisher:
         self._last_progress = scheduler.now
         self.published = 0
         self.retransmissions = 0
+        if channel is not None:
+            channel.on_message(self._on_message)  # type: ignore[attr-defined]
+
+    def rebind(self, channel: object) -> None:
+        """Adopt a fresh channel after a reconnect (rt substrate).
+
+        The unacked window is retransmitted immediately — the PHB's
+        sequence dedup absorbs anything that did survive the old
+        connection — and the backlog pump resumes.
+        """
+        channel.on_message(self._on_message)  # type: ignore[attr-defined]
+        self._send = channel  # type: ignore[assignment]
+        self._last_progress = self.scheduler.now
+        for request in self._unacked:
+            self.retransmissions += 1
+            self._send.send(request)
+        self._pump()
 
     # ------------------------------------------------------------------
     # API

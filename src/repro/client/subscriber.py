@@ -83,6 +83,7 @@ class DurableSubscriber:
         self._shb: Optional[SubscriberHostingBroker] = None
         self._link: Optional[Link] = None
         self._send: Optional[LinkEnd] = None
+        self._sever: Optional[object] = None  # drops the current session
         self._ack_timer: Optional[PeriodicHandle] = None
         self._connect_timer: Optional[PeriodicHandle] = None
         self._pending_request: Optional[M.ConnectRequest] = None
@@ -125,9 +126,33 @@ class DurableSubscriber:
         )
         self._send = shb.attach_client(link, self.node)
         self._link = link
+        self._sever = link.sever
         shb_end = link.end_for_sender(shb.node)
         shb_end.on_receive(self._on_message, shb.costs.client_recv_cost)
         link.on_disconnect(self._on_link_down)
+        self._start_session()
+
+    def connect_channel(self, chan) -> None:
+        """Connect over a transport-port channel (rt substrate).
+
+        The channel stands in for the sim link: sends go through it and
+        its close event is the link-down signal.  The session protocol
+        itself — connect request (CT and predicate on reconnect), ack
+        timer, connect-request retry — is exactly what :meth:`connect`
+        runs.
+        """
+        if self.connected:
+            raise NotConnectedError(f"{self.sub_id} is already connected")
+        self._shb = None
+        self._link = None
+        self._send = chan
+        self._sever = chan.close
+        chan.on_message(self._on_message)
+        chan.on_close(self._on_link_down)
+        self._start_session()
+
+    def _start_session(self) -> None:
+        assert self._send is not None
         if self._first_connect_done:
             # The predicate rides along so a reconnect to a *different*
             # SHB (reconnect-anywhere) can register the subscription
@@ -151,9 +176,14 @@ class DurableSubscriber:
         """Graceful disconnect (sends a DisconnectRequest first)."""
         if not self.connected:
             return
-        assert self._send is not None and self._link is not None
+        assert self._send is not None
         self._send.send(M.DisconnectRequest(self.sub_id))
+        # A transport channel is ours to close; a sim link is shared
+        # bookkeeping and is simply abandoned after the request.
+        sever = self._sever if self._link is None else None
         self._drop_connection()
+        if sever is not None:
+            sever()  # type: ignore[operator]
 
     def crash(self) -> None:
         """Involuntary disconnect: the link just drops.
@@ -161,9 +191,8 @@ class DurableSubscriber:
         The CT rolls back to the committed snapshot, exactly as an
         application recovering from its own failure would observe.
         """
-        if self.connected:
-            assert self._link is not None
-            self._link.sever()
+        if self.connected and self._sever is not None:
+            self._sever()  # type: ignore[operator]
         self._drop_connection()
         self.ct = self.committed_ct.copy()
 
@@ -175,6 +204,7 @@ class DurableSubscriber:
         self.connected = False
         self._link = None
         self._send = None
+        self._sever = None
 
     def _cancel_connect_retry(self) -> None:
         if self._connect_timer is not None:
@@ -213,10 +243,10 @@ class DurableSubscriber:
     def _on_refused(self, msg: M.ConnectRefused) -> None:
         """The SHB cannot host us (draining, or we migrated away)."""
         self.last_refusal = (msg.reason, msg.redirect_to)
-        link = self._link
+        sever = self._sever
         self._drop_connection()
-        if link is not None:
-            link.sever()
+        if sever is not None:
+            sever()  # type: ignore[operator]
 
     def _on_accept(self, msg: M.ConnectAccept) -> None:
         self._cancel_connect_retry()

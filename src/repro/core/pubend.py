@@ -49,10 +49,13 @@ class Pubend:
         disk: Optional[SimDisk] = None,
         policy: Optional[EarlyReleasePolicy] = None,
         silence_interval_ms: float = 25.0,
+        journal: Optional[object] = None,
     ) -> None:
         self.name = name
         self.scheduler = scheduler
-        self.log = PersistentEventLog(name, disk)
+        #: ``journal`` (a file-backed log stream) makes the event log
+        #: survive real process death; see PersistentEventLog.
+        self.log = PersistentEventLog(name, disk, journal=journal)
         self.policy = policy if policy is not None else NoEarlyRelease()
         self.release_agg = ReleaseAggregator(name)
         #: Called with each KnowledgeUpdate to disseminate downstream;
@@ -71,6 +74,14 @@ class Pubend:
         #: difference at the durable callback is the logging latency.
         self.log_latency_ms: List[float] = []
         self._tracer = event_tracer(scheduler)
+        if self.log.max_timestamp is not None or self.log.chopped_below > 0:
+            # A journal-recovered log (process restart): adopt its
+            # horizons exactly as post-crash recover() does.  Never
+            # triggers in the simulation, where fresh logs are empty.
+            now = self.current_time
+            self._last_assigned = max(self.log.max_timestamp or 0, now)
+            self._disseminated = self._last_assigned
+            self._released_bound = max(0, self.log.chopped_below - 1)
         self._silence_timer = scheduler.every(silence_interval_ms, self._silence_flush)
 
     # ------------------------------------------------------------------

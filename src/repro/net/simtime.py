@@ -43,13 +43,19 @@ class EventHandle:
 
 
 class PeriodicHandle:
-    """A cancellable reference to a repeating callback."""
+    """A cancellable reference to a repeating callback.
 
-    __slots__ = ("_current", "cancelled")
+    ``dead`` is set when the periodic stops because its callback raised
+    (and no ``on_error`` hook swallowed the failure); ``cancel`` is safe
+    to call in that state — it is a no-op beyond marking ``cancelled``.
+    """
+
+    __slots__ = ("_current", "cancelled", "dead")
 
     def __init__(self) -> None:
         self._current: Optional[EventHandle] = None
         self.cancelled = False
+        self.dead = False
 
     def cancel(self) -> None:
         self.cancelled = True
@@ -125,26 +131,57 @@ class Scheduler:
         fn: Callable[..., None],
         *args: Any,
         first_delay: Optional[float] = None,
+        on_error: Optional[Callable[[BaseException], None]] = None,
     ) -> PeriodicHandle:
         """Schedule ``fn(*args)`` every ``interval`` ms until cancelled.
 
         The first firing happens after ``first_delay`` (default: one full
-        interval).  The callback runs *before* the next firing is
-        scheduled, so a callback that raises stops the periodic task.
+        interval).  Firings land on the absolute grid ``t0 + n*interval``
+        (``t0`` the first firing time): each target is computed by one
+        multiply-add from the anchor, never by accumulating relative
+        delays, so float rounding cannot drift a long-running periodic
+        off its grid (at interval 0.1 the 10^6th firing is still within
+        one ulp of ``10^5``).
+
+        A callback that raises stops the periodic: the handle is marked
+        ``dead``, ``cancel()`` stays safe, and the exception propagates
+        to the caller of :meth:`step`/:meth:`run`.  Passing ``on_error``
+        keeps the periodic alive instead: the hook receives the
+        exception and the next firing is scheduled as usual (unless the
+        hook itself raises, or cancelled the handle).
         """
         if interval <= 0:
             raise ValueError(f"non-positive interval: {interval}")
         periodic = PeriodicHandle()
+        delay = interval if first_delay is None else first_delay
+        anchor = self._now + delay
+        count = 0
 
         def tick() -> None:
+            nonlocal count
             if periodic.cancelled:
                 return
-            fn(*args)
+            try:
+                fn(*args)
+            except Exception as exc:
+                if on_error is None:
+                    periodic.dead = True
+                    periodic._current = None
+                    raise
+                on_error(exc)
             if not periodic.cancelled:
-                periodic._current = self.after(interval, tick)
+                count += 1
+                target = anchor + count * interval
+                if target < self._now:
+                    # The callback consumed virtual time past one or
+                    # more grid points (nested run_until); skip forward
+                    # to the next future grid point rather than firing
+                    # a catch-up burst in the past.
+                    count = int((self._now - anchor) // interval) + 1
+                    target = max(anchor + count * interval, self._now)
+                periodic._current = self.at(target, tick)
 
-        delay = interval if first_delay is None else first_delay
-        periodic._current = self.after(delay, tick)
+        periodic._current = self.at(anchor, tick)
         return periodic
 
     # ------------------------------------------------------------------

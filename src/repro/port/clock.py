@@ -1,0 +1,67 @@
+"""The Clock port: time and timer scheduling.
+
+Every protocol component (brokers, pubends, curiosity, clients) already
+drives its timers through exactly five operations — ``now``, ``at``,
+``after``, ``every``, ``post`` — so that quintet *is* the port.  The
+discrete-event :class:`repro.net.simtime.Scheduler` satisfies it with
+virtual milliseconds; :class:`repro.adapters.rt.clock.AsyncioClock`
+satisfies it with wall-clock milliseconds on an asyncio event loop.
+
+Contract highlights the adapters must honor:
+
+* ``now`` is milliseconds, monotonically non-decreasing within a
+  process lifetime.  (The rt adapter anchors it to the Unix epoch so
+  event timestamps stay monotone *across* broker restarts too.)
+* ``at``/``after`` return a handle whose ``cancel()`` is idempotent
+  and prevents the callback from firing.
+* ``every`` returns a handle with ``cancel()`` and a ``dead`` flag;
+  firings land on the ``t0 + n*interval`` grid (no cumulative drift),
+  a raising callback kills the periodic (marked ``dead``) unless an
+  ``on_error`` hook is supplied, and post-death ``cancel()`` is safe.
+* ``post`` is fire-and-forget ``at`` (no handle, no cancellation).
+* Callbacks scheduled for the same time fire in scheduling order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class TimerHandle(Protocol):
+    """A cancellable reference to a scheduled callback."""
+
+    def cancel(self) -> None: ...
+
+
+@runtime_checkable
+class PeriodicTimerHandle(Protocol):
+    """A cancellable reference to a repeating callback."""
+
+    cancelled: bool
+    dead: bool
+
+    def cancel(self) -> None: ...
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Time source + timer wheel (ms units)."""
+
+    @property
+    def now(self) -> float: ...
+
+    def at(self, time: float, fn: Callable[..., None], *args: Any) -> TimerHandle: ...
+
+    def after(self, delay: float, fn: Callable[..., None], *args: Any) -> TimerHandle: ...
+
+    def post(self, time: float, fn: Callable[..., None], *args: Any) -> None: ...
+
+    def every(
+        self,
+        interval: float,
+        fn: Callable[..., None],
+        *args: Any,
+        first_delay: Optional[float] = None,
+        on_error: Optional[Callable[[BaseException], None]] = None,
+    ) -> PeriodicTimerHandle: ...

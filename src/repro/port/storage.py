@@ -1,0 +1,45 @@
+"""The StableStorage port: the write/sync-callback durability contract.
+
+Every durable structure in the system (tables, event logs, the PFS)
+follows one discipline, inherited from the group-commit design of
+:class:`~repro.storage.disk.SimDisk`:
+
+1. stage the content (append to a log stream, buffer table rows),
+2. call ``write(nbytes, on_durable)`` on the storage device,
+3. act on durability **only inside** ``on_durable`` — send the ack,
+   disseminate the knowledge, report the release.
+
+The contract the adapters must honor:
+
+* ``on_durable`` fires only once everything staged *before* the call —
+  this write and all earlier ones — would survive a crash.  The sim
+  models this with sync latency and ``crash_reset`` epochs; the
+  real-file adapter (:class:`repro.adapters.rt.storage.RealDisk`)
+  flushes + ``fsync``\\ s its attached
+  :class:`~repro.storage.logvolume.FileBackend` volumes first.
+* Callbacks fire in write order (group commit preserves FIFO).
+* A crash may swallow staged writes whose callback never fired; it must
+  never fire a callback for content that did not reach the platter.
+  (That asymmetry is exactly what makes acked state trustworthy and
+  un-acked state recoverable by retransmission.)
+* ``crash_reset`` discards staged-but-unsynced writes so their
+  callbacks never fire.  For a real process, death *is* the reset —
+  the adapter's ``crash_reset`` is a no-op and recovery happens by
+  reopening the volume files (torn tails are truncated on open).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class StableStorage(Protocol):
+    """A durable device with group-commit write/sync-callback semantics."""
+
+    #: Broker whose crash voids staged writes (set via Broker._own_storage).
+    owner: Optional[str]
+
+    def write(self, nbytes: int, on_durable: Optional[Callable[[], None]] = None) -> None: ...
+
+    def crash_reset(self) -> None: ...

@@ -18,6 +18,7 @@ exactly-once delivery, and what contributes the 44 ms of the paper's
 from __future__ import annotations
 
 import bisect
+import pickle
 from typing import Callable, Dict, List, Optional
 
 from ..core.events import Event
@@ -27,17 +28,52 @@ from .disk import SimDisk
 
 
 class PersistentEventLog:
-    """Ordered event storage for one pubend, chopped from the front."""
+    """Ordered event storage for one pubend, chopped from the front.
 
-    def __init__(self, pubend: str, disk: Optional[SimDisk] = None) -> None:
+    With a ``journal`` (:class:`~repro.storage.logvolume.LogStream`,
+    file-backed) the log survives real process death: each event is
+    appended to the journal before the covering ``disk.write`` (the
+    sync firing ``on_durable`` fsyncs it) and chops are journalled the
+    same way; a fresh process replays the journal at construction.  A
+    torn tail is an event whose ``on_durable`` never fired — recovered
+    by publisher retransmission, exactly the crash contract.
+    """
+
+    def __init__(
+        self,
+        pubend: str,
+        disk: Optional[SimDisk] = None,
+        journal: Optional[object] = None,
+    ) -> None:
         self.pubend = pubend
         self._disk = disk
+        self._journal = journal
         self._events: Dict[int, Event] = {}
         self._timestamps: List[int] = []  # sorted (appends are monotonic)
         self._chopped_below = 0  # all ticks < this are lost (L)
         self._durable_epoch = 0
         self.appended = 0
         self.bytes_logged = 0
+        if journal is not None:
+            self._replay_journal()
+
+    def _replay_journal(self) -> None:
+        """Rebuild the durable view from the journal (process restart)."""
+        journal = self._journal
+        assert journal is not None
+        for index in range(journal.chopped_below, journal.next_index):  # type: ignore[attr-defined]
+            kind, value = pickle.loads(journal.read(index))  # type: ignore[attr-defined]
+            if kind == "ev":
+                if value.timestamp >= self._chopped_below:
+                    self._events[value.timestamp] = value
+                    self._timestamps.append(value.timestamp)
+                    self.appended += 1
+            elif kind == "chop" and value > self._chopped_below:
+                cut = bisect.bisect_left(self._timestamps, value)
+                for t in self._timestamps[:cut]:
+                    del self._events[t]
+                del self._timestamps[:cut]
+                self._chopped_below = value
 
     @property
     def owner(self) -> Optional[str]:
@@ -57,6 +93,10 @@ class PersistentEventLog:
             )
         if event.timestamp < self._chopped_below:
             raise StorageError(f"append below chop point {self._chopped_below}")
+        if self._journal is not None:
+            self._journal.append(  # type: ignore[attr-defined]
+                pickle.dumps(("ev", event), protocol=pickle.HIGHEST_PROTOCOL)
+            )
         epoch = self._durable_epoch
 
         def durable() -> None:
@@ -124,6 +164,10 @@ class PersistentEventLog:
             # Crash here: the release decision was made but no event
             # has been discarded yet.
             HOOKS.fire("eventlog.chop.pre", self.owner)
+        if self._journal is not None:
+            self._journal.append(  # type: ignore[attr-defined]
+                pickle.dumps(("chop", timestamp), protocol=pickle.HIGHEST_PROTOCOL)
+            )
         cut = bisect.bisect_left(self._timestamps, timestamp)
         for t in self._timestamps[:cut]:
             del self._events[t]

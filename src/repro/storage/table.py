@@ -21,6 +21,7 @@ Sizes are estimated so the disk byte accounting stays meaningful.
 
 from __future__ import annotations
 
+import pickle
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..sim.crashpoints import HOOKS
@@ -31,11 +32,29 @@ ROW_BYTES = 64
 
 
 class PersistentTable:
-    """A named table of ``str -> value`` with transactional commits."""
+    """A named table of ``str -> value`` with transactional commits.
 
-    def __init__(self, name: str, disk: Optional[SimDisk] = None) -> None:
+    In the simulation the "durable" contents live in ``_committed`` —
+    they survive a *simulated* crash (``crash_reset``) but not the
+    process.  Passing a ``journal``
+    (:class:`~repro.storage.logvolume.LogStream`, typically file-backed)
+    makes commits real: each transaction is appended to the journal
+    *before* the covering ``disk.write``, so the sync that fires
+    ``on_durable`` has already fsynced it, and a fresh process replays
+    the journal into ``_committed`` at construction.  A torn journal
+    tail is a transaction whose sync never completed — whose callback
+    therefore never fired — so losing it is exactly the contract.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        disk: Optional[SimDisk] = None,
+        journal: Optional[object] = None,
+    ) -> None:
         self.name = name
         self._disk = disk
+        self._journal = journal
         self._committed: Dict[str, Any] = {}
         self._dirty: Dict[str, Any] = {}
         self._deleted: set = set()
@@ -47,6 +66,18 @@ class PersistentTable:
         self._inflight: List[Tuple[Dict[str, Any], set]] = []
         self.commits = 0
         self._commit_epoch = 0  # bumped on crash; stale syncs are ignored
+        if journal is not None:
+            self._replay_journal()
+
+    def _replay_journal(self) -> None:
+        """Rebuild ``_committed`` from the journal (process restart)."""
+        journal = self._journal
+        assert journal is not None
+        for index in range(journal.chopped_below, journal.next_index):  # type: ignore[attr-defined]
+            batch, deleted = pickle.loads(journal.read(index))  # type: ignore[attr-defined]
+            self._committed.update(batch)
+            for key in deleted:
+                self._committed.pop(key, None)
 
     @property
     def owner(self) -> Optional[str]:
@@ -145,6 +176,12 @@ class PersistentTable:
         entry = (batch, deleted)
         self._inflight.append(entry)
         epoch = self._commit_epoch
+        if self._journal is not None:
+            # Stage the transaction's content before the covering
+            # disk.write: the sync that fires ``apply`` fsyncs it.
+            self._journal.append(  # type: ignore[attr-defined]
+                pickle.dumps((batch, sorted(deleted)), protocol=pickle.HIGHEST_PROTOCOL)
+            )
 
         def apply() -> None:
             if epoch != self._commit_epoch:

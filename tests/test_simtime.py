@@ -133,6 +133,72 @@ class TestPeriodic:
         with pytest.raises(ValueError):
             Scheduler().every(0, lambda: None)
 
+    def test_periodic_stays_on_grid_without_drift(self):
+        # Interval 0.1 is not exactly representable in binary floating
+        # point; re-arming via repeated relative `after(interval)` lets
+        # the rounding error accumulate, and by a million ticks the
+        # firing time is visibly off the n*0.1 grid.  The grid-anchored
+        # scheduler computes each target as one multiply-add, so every
+        # firing is within one ulp of n*0.1.
+        import math
+
+        sim = Scheduler()
+        worst = [0.0]
+        n = [0]
+
+        def tick():
+            n[0] += 1
+            exact = n[0] * 0.1
+            worst[0] = max(worst[0], abs(sim.now - exact))
+
+        sim.every(0.1, tick)
+        sim.run(max_events=1_000_000)
+        assert n[0] == 1_000_000
+        # one ulp at the final firing time (~1e5 ms)
+        assert worst[0] <= math.ulp(100_000.0)
+
+    def test_periodic_grid_anchor_respects_first_delay(self):
+        sim = Scheduler()
+        times = []
+        sim.run_until(5)  # non-zero start time
+        sim.every(0.1, lambda: times.append(sim.now), first_delay=0.25)
+        sim.run_until(5.66)
+        assert times[0] == 5.25
+        assert times == [5.25 + i * 0.1 for i in range(len(times))]
+
+    def test_raising_callback_marks_periodic_dead(self):
+        sim = Scheduler()
+
+        def boom():
+            raise RuntimeError("kaput")
+
+        handle = sim.every(10, boom)
+        with pytest.raises(RuntimeError, match="kaput"):
+            sim.run()
+        assert handle.dead
+        # post-death cancel is safe (the consumed EventHandle is gone)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+        sim.run_until(100)  # nothing further fires
+
+    def test_on_error_hook_keeps_periodic_alive(self):
+        sim = Scheduler()
+        fired = []
+        errors = []
+
+        def flaky():
+            fired.append(sim.now)
+            if len(fired) == 2:
+                raise RuntimeError("transient")
+
+        handle = sim.every(10, flaky, on_error=errors.append)
+        sim.run_until(45)
+        assert fired == [10.0, 20.0, 30.0, 40.0]
+        assert len(errors) == 1 and str(errors[0]) == "transient"
+        assert not handle.dead
+        handle.cancel()
+
 
 class TestDeterminism:
     def test_identical_runs_produce_identical_traces(self):
